@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's evaluation claims and
+prints a paper-vs-measured row.  Absolute numbers differ (the paper ran
+an OCaml plugin inside Coq 8.8; we run a Python kernel), so the rows
+compare *shape*: what succeeds, what is fast relative to what, and where
+caching wins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(label: str, paper: str, measured: str) -> None:
+    """Print one paper-vs-measured row (shown with -s or on failure)."""
+    print(f"\n[{label}]")
+    print(f"  paper    : {paper}")
+    print(f"  measured : {measured}")
+
+
+@pytest.fixture
+def rows():
+    return report

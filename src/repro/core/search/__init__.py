@@ -1,0 +1,81 @@
+"""Search procedures for automatic configuration (the ``Configure`` of
+Figure 6, left).
+
+The four procedures of Section 3.3:
+
+1. :mod:`~repro.core.search.tuples_records` — tuples and records,
+2. :mod:`~repro.core.search.swap` — renaming and permuting constructors,
+3. :mod:`~repro.core.search.ornaments` — algebraic ornaments to packed
+   indexed types (from Devoid), and
+4. :mod:`~repro.core.search.unpack` — unpacking to a particular index.
+
+:func:`configure` dispatches between them from just the two type names,
+as the ``Repair`` command does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...kernel.env import Environment
+from ..config import ConfigError, Configuration
+from .ornaments import ornament_configuration
+from .swap import find_constructor_mappings, swap_configuration
+from .tuples_records import tuples_records_configuration
+from .unpack import declare_unpack_support
+
+
+def configure(
+    env: Environment,
+    a_name: str,
+    b_name: str,
+    mapping: Optional[Sequence[int]] = None,
+    prove: bool = True,
+) -> Configuration:
+    """Automatically configure the transformation for ``A ~= B``.
+
+    Tries the search procedures in turn: constructor permutation/renaming
+    when both names are compatible inductives, tuples-to-records when the
+    target is a record and the source a tuple-type constant, and the
+    ornament configuration for ``list``/``vector``-style pairs.
+    """
+    if env.has_inductive(a_name) and env.has_inductive(b_name):
+        a = env.inductive(a_name)
+        b = env.inductive(b_name)
+        if (
+            a.n_constructors == b.n_constructors
+            and a.n_params == b.n_params
+            and not a.n_indices
+            and not b.n_indices
+        ):
+            try:
+                return swap_configuration(
+                    env, a_name, b_name, mapping=mapping, prove=prove
+                )
+            except ConfigError:
+                pass
+        if a.n_constructors == 2 and b.n_indices == 1 and not a.n_indices:
+            # list-to-vector style ornament.
+            return ornament_configuration(
+                env, list_name=a_name, vector_name=b_name, prove=prove
+            )
+    if env.has_constant(a_name) and env.has_inductive(b_name):
+        b = env.inductive(b_name)
+        if b.n_constructors == 1 and not b.params and not b.indices:
+            return tuples_records_configuration(
+                env, b_name, tuple_alias=a_name, prove=prove
+            )
+    raise ConfigError(
+        f"no automatic configuration found for {a_name!r} ~= {b_name!r}; "
+        "supply a manual configuration (TermSide) instead"
+    )
+
+
+__all__ = [
+    "configure",
+    "declare_unpack_support",
+    "find_constructor_mappings",
+    "ornament_configuration",
+    "swap_configuration",
+    "tuples_records_configuration",
+]

@@ -1,0 +1,131 @@
+"""Custom eliminators for refinement types (Section 4.4, ``smartelim.ml``).
+
+The paper: "we implemented special search procedures to generate custom
+eliminators to make it easier to reason about types refined by equalities
+like ``Σ(l : list T).length l = n`` by breaking them into parts and
+reasoning separately about the projections."
+
+Given a *measure* ``f : Pi params, A -> nat`` this module generates, for
+the refinement ``Refined params n := Σ (x : A params). f x = n``:
+
+* ``<name>.intro``  — pack a carrier and its measure proof,
+* ``<name>.elim``   — the smart eliminator: prove ``Q s`` for every packed
+  ``s`` by reasoning about the carrier and the equality *separately*
+  (its conclusion is ``Q s`` on the nose — the sigma is eliminated first,
+  so no sigma eta is needed),
+* ``<name>.proj1`` / ``<name>.proj2`` — the projections, with ``proj2``
+  carrying the measure equality.
+
+All four are defined in the environment and kernel checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ...kernel.env import Environment
+from ...kernel.term import Term
+from ...syntax.parser import parse
+
+
+@dataclass(frozen=True)
+class SmartEliminator:
+    """Names of the generated refinement vocabulary."""
+
+    refined: str
+    intro: str
+    elim: str
+    proj1: str
+    proj2: str
+
+
+def generate_refinement_eliminator(
+    env: Environment,
+    name: str,
+    carrier: str,
+    measure: str,
+    param_binders: Sequence[Tuple[str, str]] = (("T", "Type1"),),
+) -> SmartEliminator:
+    """Generate the smart-eliminator vocabulary for ``Σ (x : A). f x = n``.
+
+    ``carrier`` and ``measure`` are surface-syntax expressions over the
+    parameters of ``param_binders`` (e.g. carrier ``"list T"`` with
+    measure ``"length T"``).
+    """
+    binders = " ".join(f"({p} : {ty})" for p, ty in param_binders)
+    params = " ".join(p for p, _ty in param_binders)
+
+    refined = f"{name}.Refined"
+    env.define(
+        refined,
+        parse(
+            env,
+            f"""
+            fun {binders} (n : nat) =>
+              sigT ({carrier})
+                (fun (x : {carrier}) => eq nat ({measure} x) n)
+            """,
+        ),
+    )
+    intro = f"{name}.intro"
+    env.define(
+        intro,
+        parse(
+            env,
+            f"""
+            fun {binders} (n : nat) (x : {carrier})
+                (H : eq nat ({measure} x) n) =>
+              existT ({carrier})
+                (fun (x0 : {carrier}) => eq nat ({measure} x0) n)
+                x H
+            """,
+        ),
+    )
+    elim = f"{name}.elim"
+    env.define(
+        elim,
+        parse(
+            env,
+            f"""
+            fun {binders} (n : nat)
+                (Q : {refined} {params} n -> Type2)
+                (case : forall (x : {carrier})
+                          (H : eq nat ({measure} x) n),
+                        Q ({intro} {params} n x H))
+                (s : {refined} {params} n) =>
+              Elim[sigT](s;
+                  fun (s0 : {refined} {params} n) => Q s0)
+                {{ fun (x : {carrier})
+                      (H : eq nat ({measure} x) n) =>
+                    case x H }}
+            """,
+        ),
+    )
+    proj1 = f"{name}.proj1"
+    env.define(
+        proj1,
+        parse(
+            env,
+            f"""
+            fun {binders} (n : nat) (s : {refined} {params} n) =>
+              projT1 ({carrier})
+                (fun (x : {carrier}) => eq nat ({measure} x) n) s
+            """,
+        ),
+    )
+    proj2 = f"{name}.proj2"
+    env.define(
+        proj2,
+        parse(
+            env,
+            f"""
+            fun {binders} (n : nat) (s : {refined} {params} n) =>
+              projT2 ({carrier})
+                (fun (x : {carrier}) => eq nat ({measure} x) n) s
+            """,
+        ),
+    )
+    return SmartEliminator(
+        refined=refined, intro=intro, elim=elim, proj1=proj1, proj2=proj2
+    )

@@ -1,0 +1,96 @@
+"""Support for unpacking to vectors at a *particular* index (Section 6.2).
+
+The second configuration of Section 6.2 transports along::
+
+    Sigma (s : Sigma (m : nat). vector T m). projT1 s = n  ~=  vector T n
+
+From the proof engineer's perspective the new information is the index
+equality; everything else is automated.  Our realization mirrors the
+paper's ``smartelim`` custom eliminators: we generate
+
+* ``vector_cast`` — the ``eta`` of the configuration: the identity
+  "generalized over any equal index" (the paper's ``eq_rect m (vector T)
+  v n H``);
+* ``unpack`` — project a packed vector to a particular index, given a
+  proof about the projection;
+* ``unpack_coherence`` — the custom reasoning principle: two unpackings
+  agree whenever the packed values agree and the index proofs are
+  *threaded* through that agreement.  This is what discharges the final
+  ``zip_with_is_zip`` at a particular length without any axiom (no UIP),
+  proved here by double equality induction.
+"""
+
+from __future__ import annotations
+
+from ...kernel.env import Environment
+from ...syntax.parser import parse
+
+
+def declare_unpack_support(env: Environment, vector_name: str = "vector") -> None:
+    """Define ``vector_cast``, ``unpack``, and ``unpack_coherence``."""
+    if env.has_constant("unpack_coherence"):
+        return
+    from ...tactics.engine import prove
+    from ...tactics.tactics import induction, intros, reflexivity
+
+    packed = f"sigT nat (fun (n : nat) => {vector_name} T n)"
+    proj1 = f"projT1 nat (fun (n : nat) => {vector_name} T n)"
+    proj2 = f"projT2 nat (fun (n : nat) => {vector_name} T n)"
+
+    # The identity function generalized over any equal index (the second
+    # configuration's eta, Section 6.2.1).
+    env.define(
+        "vector_cast",
+        parse(
+            env,
+            f"""
+            fun (T : Type1) (m n : nat) (e : eq nat m n)
+                (v : {vector_name} T m) =>
+              eq_ind nat m (fun (k : nat) => {vector_name} T k) v n e
+            """,
+        ),
+    )
+    env.define(
+        "unpack",
+        parse(
+            env,
+            f"""
+            fun (T : Type1) (n : nat) (s : {packed})
+                (pf : eq nat ({proj1} s) n) =>
+              vector_cast T ({proj1} s) n pf ({proj2} s)
+            """,
+        ),
+    )
+
+    # Coherence: unpacking equal packed values with threaded index proofs
+    # gives equal vectors.  Proved by induction on the packed equality and
+    # then on the index proof — both are equality eliminations over an
+    # indexed family, handled by the generalized induction tactic.
+    stmt = parse(
+        env,
+        f"""
+        forall (T : Type1) (s1 s2 : {packed})
+               (e : eq ({packed}) s1 s2)
+               (n : nat) (pf : eq nat ({proj1} s2) n),
+          eq ({vector_name} T n)
+             (unpack T n s1
+                (eq_trans nat ({proj1} s1) ({proj1} s2) n
+                   (f_equal ({packed}) nat
+                      (fun (s : {packed}) => {proj1} s) s1 s2 e)
+                   pf))
+             (unpack T n s2 pf)
+        """,
+    )
+    env.define(
+        "unpack_coherence",
+        prove(
+            env,
+            stmt,
+            intros("T", "s1", "s2", "e"),
+            induction("e", names=[[]]),
+            intros("n", "pf"),
+            induction("pf", names=[[]]),
+            reflexivity(),
+        ),
+        type=stmt,
+    )

@@ -1,0 +1,293 @@
+"""The configurable proof term transformation (Figure 10).
+
+:class:`Transformer` ports a term defined over ``A`` to a term defined
+over ``B``, given a :class:`~repro.core.config.Configuration`.  The rules
+of Figure 10 appear here directly:
+
+* **Dep-Constr** — an application of ``DepConstr(j, A)`` (recognized by
+  the A side's unification heuristic) becomes ``DepConstr(j, B)`` applied
+  to the recursively transformed arguments;
+* **Dep-Elim** — likewise for dependent eliminators;
+* **Eta**/**Iota** — likewise for the equality configuration terms;
+* **Equivalence** — the type ``A`` applied to parameters becomes ``B``;
+* the remaining rules are structural recursion.
+
+Before constructing the output, every component is transformed
+recursively, and the final result is beta/iota-reduced without delta
+(step 4 of Figure 11), which contracts the applied configuration terms.
+Transformed subterms are cached (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..kernel.context import Context
+from ..kernel.env import Environment
+from ..kernel.reduce import nf
+from ..kernel.term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+    Term,
+    TermError,
+    mentions_global,
+    mk_app,
+    unfold_app,
+)
+from .caching import TransformCache
+from .config import Configuration, ElimMatch
+
+
+class TransformError(TermError):
+    """Raised when a term cannot be ported across the equivalence."""
+
+
+class Transformer:
+    """Applies the Figure 10 transformation for a fixed configuration.
+
+    ``config`` may also be a sequence of configurations, in which case
+    their rules are tried in order at every subterm — the "multiple
+    equivalences" extension the paper's Section 8 sketches.  With one
+    configuration per nested type (e.g. Handshake and Connection in the
+    Galois case study) a whole stack of changes ports in a single pass.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config,
+        cache: Optional[TransformCache] = None,
+        reduce_output: bool = True,
+    ) -> None:
+        self.env = env
+        if isinstance(config, Configuration):
+            self.configs = (config,)
+        else:
+            self.configs = tuple(config)
+            if not self.configs:
+                raise TransformError("need at least one configuration")
+        self.config = self.configs[0]
+        self.cache = cache if cache is not None else TransformCache()
+        self.reduce_output = reduce_output
+        self._const_map: Dict[str, str] = {}
+        for configuration in self.configs:
+            self._const_map.update(configuration.const_map)
+
+    # -- Public API -----------------------------------------------------------
+
+    def __call__(self, term: Term) -> Term:
+        """Transform a closed term and reduce the result."""
+        result = self.transform(term, Context.empty())
+        if self.reduce_output:
+            result = nf(self.env, result, delta=False)
+        return result
+
+    # -- The transformation -----------------------------------------------------
+
+    def transform(self, term: Term, ctx: Context) -> Term:
+        key = (term, tuple(ty for _n, ty in ctx.entries))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._transform(term, ctx)
+        self.cache.put(key, result)
+        return result
+
+    def _transform(self, term: Term, ctx: Context) -> Term:
+        for config in self.configs:
+            result = self._try_rules(config, term, ctx)
+            if result is not None:
+                return result
+        # Structural rules.
+        return self._structural(term, ctx)
+
+    def _try_rules(
+        self, config: Configuration, term: Term, ctx: Context
+    ) -> Optional[Term]:
+        """Try the Figure 10 rules of one configuration; None if no match."""
+        a = config.a
+        b = config.b
+        env = self.env
+
+        # Iota (explicit marks take precedence: they wrap eliminations).
+        iota = a.match_iota(env, ctx, term)
+        if iota is not None:
+            j, args = iota
+            new_args = [self.transform(arg, ctx) for arg in args]
+            built = b.make_iota(j, new_args)
+            if built is not None:
+                return built
+            # Definitional iota on the B side: the cast disappears and the
+            # proof being cast (the final argument) stands on its own.
+            if not new_args:
+                raise TransformError(
+                    "iota mark with no arguments cannot be erased"
+                )
+            return new_args[-1]
+
+        # Dep-Constr.
+        constr = a.match_constr(env, ctx, term)
+        if constr is not None:
+            j, params, args = constr
+            new_params = [self.transform(p, ctx) for p in params]
+            new_args = [self.transform(arg, ctx) for arg in args]
+            return b.make_constr(j, new_params, new_args)
+
+        # Projections (degenerate dependent eliminations; Section 6.4).
+        proj = a.match_proj(env, ctx, term)
+        if proj is not None:
+            i, base = proj
+            return b.make_proj(i, self.transform(base, ctx))
+
+        # Dep-Elim.
+        elim = a.match_elim(env, ctx, term)
+        if elim is not None:
+            return b.make_elim(self._transform_elim_parts(elim, ctx))
+
+        # Equivalence: the type itself.
+        params = a.match_type(env, term)
+        if params is not None:
+            return b.make_type([self.transform(p, ctx) for p in params])
+
+        return None
+
+    def _transform_elim_parts(self, match: ElimMatch, ctx: Context) -> ElimMatch:
+        return ElimMatch(
+            params=tuple(self.transform(p, ctx) for p in match.params),
+            motive=self.transform(match.motive, ctx),
+            cases=tuple(self.transform(c, ctx) for c in match.cases),
+            scrut=self.transform(match.scrut, ctx),
+            extra_args=tuple(
+                self.transform(e, ctx) for e in match.extra_args
+            ),
+        )
+
+    def _structural(self, term: Term, ctx: Context) -> Term:
+        if isinstance(term, (Rel, Sort)):
+            return term
+
+        if isinstance(term, Const):
+            mapped = self._const_map.get(term.name)
+            if mapped is not None:
+                return Const(mapped)
+            return term
+
+        if isinstance(term, Ind):
+            # A bare (unapplied or partially applied) reference to the old
+            # family; only legal when a side can express it.
+            for config in self.configs:
+                params = config.a.match_type(self.env, term)
+                if params is not None:
+                    return config.b.make_type(list(params))
+            return term
+
+        if isinstance(term, Constr):
+            return term
+
+        if isinstance(term, App):
+            return App(
+                self.transform(term.fn, ctx), self.transform(term.arg, ctx)
+            )
+
+        if isinstance(term, Lam):
+            domain = self.transform(term.domain, ctx)
+            body = self.transform(term.body, ctx.push(term.name, term.domain))
+            body = self._eta_expand_binder(domain, body)
+            return Lam(term.name, domain, body)
+
+        if isinstance(term, Pi):
+            domain = self.transform(term.domain, ctx)
+            codomain = self.transform(
+                term.codomain, ctx.push(term.name, term.domain)
+            )
+            codomain = self._eta_expand_binder(domain, codomain)
+            return Pi(term.name, domain, codomain)
+
+        if isinstance(term, Elim):
+            return Elim(
+                term.ind,
+                self.transform(term.motive, ctx),
+                tuple(self.transform(c, ctx) for c in term.cases),
+                self.transform(term.scrut, ctx),
+            )
+
+        raise TransformError(f"cannot transform {term!r}")
+
+    def _eta_expand_binder(self, domain: Term, body: Term) -> Term:
+        """Apply the B side's Eta to every occurrence of a new binder.
+
+        When the B side declares a propositional Eta (e.g. sigma packing,
+        Section 4.1.2) and the binder's domain is the B type, every
+        occurrence of the bound variable is replaced with its
+        eta-expansion.  This is the unification step that keeps
+        eliminations of variables and iota-exposed recursions
+        definitionally aligned, so transformed proofs type check without
+        sigma eta in the kernel.
+        """
+        b = None
+        params = None
+        for config in self.configs:
+            if config.b.eta is None:
+                continue
+            params = config.b.match_type(self.env, domain)
+            if params is not None:
+                b = config.b
+                break
+        if b is None or params is None:
+            return body
+        from ..kernel.reduce import beta_reduce
+        from ..kernel.term import lift
+
+        def expand(t: Term, cutoff: int) -> Term:
+            if isinstance(t, Rel):
+                if t.index == cutoff:
+                    applied = mk_app(
+                        b.eta,
+                        tuple(lift(p, cutoff + 1) for p in params) + (t,),
+                    )
+                    return beta_reduce(applied)
+                return t
+            if isinstance(t, (Sort, Const, Ind, Constr)):
+                return t
+            if isinstance(t, App):
+                return App(expand(t.fn, cutoff), expand(t.arg, cutoff))
+            if isinstance(t, Lam):
+                return Lam(
+                    t.name, expand(t.domain, cutoff), expand(t.body, cutoff + 1)
+                )
+            if isinstance(t, Pi):
+                return Pi(
+                    t.name,
+                    expand(t.domain, cutoff),
+                    expand(t.codomain, cutoff + 1),
+                )
+            if isinstance(t, Elim):
+                return Elim(
+                    t.ind,
+                    expand(t.motive, cutoff),
+                    tuple(expand(c, cutoff) for c in t.cases),
+                    expand(t.scrut, cutoff),
+                )
+            raise TransformError(f"eta expansion: unknown term {t!r}")
+
+        return expand(body, 0)
+
+
+def transform_term(
+    env: Environment,
+    config: Configuration,
+    term: Term,
+    cache: Optional[TransformCache] = None,
+    reduce_output: bool = True,
+) -> Term:
+    """Convenience wrapper: transform a closed term across ``config``."""
+    return Transformer(env, config, cache=cache, reduce_output=reduce_output)(
+        term
+    )

@@ -1,0 +1,180 @@
+"""The scaled-up decompiler: second pass and pretty printing (Section 5.2).
+
+``Decompile`` operates in two passes: first the mini decompiler of
+:mod:`repro.decompile.qtac`, then a cleanup pass that produces a more
+natural script — merging ``intro`` runs into ``intros``, deduplicating
+``simpl``, and dropping ``simpl`` where the next tactic does not need it.
+The printer maintains the recursive proof structure and renders subgoals
+with Coq-style bullets, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..kernel.context import Context
+from ..kernel.env import Environment
+from ..kernel.term import Term
+from .qtac import (
+    Decompiler,
+    Script,
+    Tac,
+    TApply,
+    TExact,
+    TIntro,
+    TIntros,
+    TInduction,
+    TLeft,
+    TReflexivity,
+    TRewrite,
+    TRight,
+    TSimpl,
+    TSplit,
+    TSymmetry,
+    decompile,
+)
+
+_BULLETS = ["-", "+", "*", "--", "++", "**"]
+
+
+def decompile_to_script(
+    env: Environment, term: Term, ctx: Optional[Context] = None
+) -> Script:
+    """Mini decompiler followed by the cleanup pass."""
+    return _second_pass(decompile(env, term, ctx))
+
+
+def _second_pass(script: Script) -> Script:
+    steps = [_second_pass_tac(tac) for tac in script.steps]
+    steps = _merge_intros(steps)
+    steps = _clean_simpl(steps)
+    return Script(tuple(steps))
+
+
+def _second_pass_tac(tac: Tac) -> Tac:
+    if isinstance(tac, TInduction):
+        return TInduction(
+            scrut=tac.scrut,
+            case_names=tac.case_names,
+            cases=tuple(_second_pass(case) for case in tac.cases),
+        )
+    if isinstance(tac, TSplit):
+        return TSplit(
+            (_second_pass(tac.branches[0]), _second_pass(tac.branches[1]))
+        )
+    return tac
+
+
+def _merge_intros(steps: List[Tac]) -> List[Tac]:
+    out: List[Tac] = []
+    run: List[str] = []
+    for tac in steps:
+        if isinstance(tac, TIntro):
+            run.append(tac.name)
+            continue
+        if run:
+            out.append(TIntros(tuple(run)) if len(run) > 1 else TIntro(run[0]))
+            run = []
+        out.append(tac)
+    if run:
+        out.append(TIntros(tuple(run)) if len(run) > 1 else TIntro(run[0]))
+    return out
+
+
+def _clean_simpl(steps: List[Tac]) -> List[Tac]:
+    out: List[Tac] = []
+    for i, tac in enumerate(steps):
+        if isinstance(tac, TSimpl):
+            nxt = steps[i + 1] if i + 1 < len(steps) else None
+            if isinstance(nxt, (TSimpl, TReflexivity)) or nxt is None:
+                continue
+            if out and isinstance(out[-1], TSimpl):
+                continue
+        out.append(tac)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Pretty printing
+# ---------------------------------------------------------------------------
+
+
+def print_script(script: Script, name: Optional[str] = None) -> str:
+    """Render a script as a Coq-style proof block with bullets."""
+    lines: List[str] = []
+    if name is not None:
+        lines.append(f"(* {name} *)")
+    lines.append("Proof.")
+    lines.extend(_render(script, depth=0, indent=1))
+    lines.append("Qed.")
+    return "\n".join(lines)
+
+
+def _render(script: Script, depth: int, indent: int) -> List[str]:
+    lines: List[str] = []
+    pad = "  " * indent
+    pending: List[str] = []
+
+    def flush() -> None:
+        if pending:
+            lines.append(pad + " ".join(pending))
+            pending.clear()
+
+    for tac in script.steps:
+        if isinstance(tac, TInduction):
+            pattern = "|".join(" ".join(names) for names in tac.case_names)
+            pending.append(f"induction {tac.scrut} as [{pattern}].")
+            flush()
+            bullet = _BULLETS[depth % len(_BULLETS)]
+            for case in tac.cases:
+                sub = _render(case, depth + 1, indent + 1)
+                if sub:
+                    first = sub[0].lstrip()
+                    lines.append(pad + f"{bullet} {first}")
+                    lines.extend(sub[1:])
+                else:
+                    lines.append(pad + bullet)
+            continue
+        if isinstance(tac, TSplit):
+            pending.append("split.")
+            flush()
+            bullet = _BULLETS[depth % len(_BULLETS)]
+            for branch in tac.branches:
+                sub = _render(branch, depth + 1, indent + 1)
+                if sub:
+                    first = sub[0].lstrip()
+                    lines.append(pad + f"{bullet} {first}")
+                    lines.extend(sub[1:])
+                else:
+                    lines.append(pad + bullet)
+            continue
+        pending.append(_render_atomic(tac))
+        if isinstance(tac, (TReflexivity, TExact)):
+            flush()
+    flush()
+    return lines
+
+
+def _render_atomic(tac: Tac) -> str:
+    if isinstance(tac, TIntro):
+        return f"intro {tac.name}."
+    if isinstance(tac, TIntros):
+        return "intros " + " ".join(tac.names) + "."
+    if isinstance(tac, TSymmetry):
+        return "symmetry."
+    if isinstance(tac, TSimpl):
+        return "simpl."
+    if isinstance(tac, TRewrite):
+        arrow = "<- " if tac.rev else ""
+        return f"rewrite {arrow}({tac.proof})."
+    if isinstance(tac, TApply):
+        return f"apply ({tac.term})."
+    if isinstance(tac, TExact):
+        return f"exact ({tac.term})."
+    if isinstance(tac, TReflexivity):
+        return "reflexivity."
+    if isinstance(tac, TLeft):
+        return "left."
+    if isinstance(tac, TRight):
+        return "right."
+    raise ValueError(f"unknown tactic {tac!r}")

@@ -1,0 +1,269 @@
+"""Qtac: the mini decompiler's tactic language (Figures 13 and 14).
+
+The AST mirrors Figure 13 — ``intro``, ``rewrite``, ``symmetry``,
+``apply``, ``induction``, ``split``, ``left``, ``right``, and sequencing —
+extended with the few constructs the real decompiler needs (``exact``,
+``reflexivity``, ``simpl``, ``intros``).  :func:`decompile` implements the
+semantics of Figure 14: a structural recursion over the proof term that
+defaults to ``apply``/``exact`` of the whole term (the Base rule) and
+improves on it wherever a rule matches.
+
+Tactic arguments are rendered to surface-syntax strings at decompile time
+using the ambient binder names, so the output script is exactly what a
+proof engineer would read — and it can be re-executed with
+:func:`repro.decompile.run.run_script`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..kernel.context import Context
+from ..kernel.env import Environment
+from ..kernel.pretty import pretty
+from ..kernel.reduce import whnf
+from ..kernel.term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+    Term,
+    unfold_app,
+)
+from ..kernel.typecheck import TypeError_, infer
+
+
+@dataclass(frozen=True)
+class Tac:
+    """Base class of Qtac tactics."""
+
+
+@dataclass(frozen=True)
+class TIntro(Tac):
+    name: str
+
+
+@dataclass(frozen=True)
+class TIntros(Tac):
+    names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TSymmetry(Tac):
+    pass
+
+
+@dataclass(frozen=True)
+class TRewrite(Tac):
+    proof: str
+    rev: bool = False
+
+
+@dataclass(frozen=True)
+class TSimpl(Tac):
+    pass
+
+
+@dataclass(frozen=True)
+class TApply(Tac):
+    term: str
+
+
+@dataclass(frozen=True)
+class TExact(Tac):
+    term: str
+
+
+@dataclass(frozen=True)
+class TReflexivity(Tac):
+    pass
+
+
+@dataclass(frozen=True)
+class TSplit(Tac):
+    branches: Tuple["Script", "Script"]
+
+
+@dataclass(frozen=True)
+class TLeft(Tac):
+    pass
+
+
+@dataclass(frozen=True)
+class TRight(Tac):
+    pass
+
+
+@dataclass(frozen=True)
+class TInduction(Tac):
+    scrut: str
+    case_names: Tuple[Tuple[str, ...], ...]
+    cases: Tuple["Script", ...]
+
+
+@dataclass(frozen=True)
+class Script:
+    steps: Tuple[Tac, ...]
+
+    def __add__(self, other: "Script") -> "Script":
+        return Script(self.steps + other.steps)
+
+
+def _show(term: Term, names: Sequence[str], env: Optional[Environment] = None) -> str:
+    ctx = Context(tuple((name, Sort(0)) for name in names))
+    return pretty(term, ctx=ctx, env=env)
+
+
+class Decompiler:
+    """The mini decompiler, with hooks used by the scaled-up second pass."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+
+    # -- Entry point -----------------------------------------------------------
+
+    def decompile(self, term: Term, ctx: Optional[Context] = None) -> Script:
+        return Script(tuple(self._steps(term, ctx or Context.empty())))
+
+    # -- The Figure 14 rules -----------------------------------------------------
+
+    def _steps(self, term: Term, ctx: Context) -> List[Tac]:
+        names = [name for name, _ in ctx.entries]
+
+        # Intro.
+        if isinstance(term, Lam):
+            fresh = ctx.fresh_name(term.name if term.name != "_" else "H")
+            rest = self._steps(term.body, ctx.push(fresh, term.domain))
+            return [TIntro(fresh)] + rest
+
+        head, args = unfold_app(term)
+
+        # Reflexivity (an eq_refl constructor).
+        if isinstance(head, Constr) and head.ind == "eq" and len(args) == 2:
+            return [TReflexivity()]
+
+        # Symmetry.
+        if isinstance(head, Const) and head.name == "eq_sym" and len(args) == 4:
+            return [TSymmetry()] + self._steps(args[3], ctx)
+
+        # Split / Left / Right.
+        if isinstance(head, Constr) and head.ind == "and" and len(args) == 4:
+            left = self.decompile(args[2], ctx)
+            right = self.decompile(args[3], ctx)
+            return [TSplit((left, right))]
+        if isinstance(head, Constr) and head.ind == "or" and len(args) == 3:
+            side = TLeft() if head.index == 0 else TRight()
+            return [side] + self._steps(args[2], ctx)
+
+        # Rewrite: recognize the two eq_ind shapes (and eq_ind_r).
+        rewrite = self._match_rewrite(head, args, ctx)
+        if rewrite is not None:
+            tac, rest_term = rewrite
+            return [TSimpl(), tac] + self._steps(rest_term, ctx)
+
+        # Induction over an introduced variable.
+        if isinstance(term, Elim) and isinstance(term.scrut, Rel):
+            induction = self._decompile_induction(term, ctx)
+            if induction is not None:
+                return [induction]
+
+        # Base: apply the head with its trailing proof argument as a
+        # subproof when that reads better, otherwise exact the whole term.
+        if args and self._is_proof(args[-1], ctx):
+            prefix = term
+            # Reconstruct the application without its last argument.
+            prefix = _drop_last_arg(term)
+            return [TApply(_show(prefix, names, self.env))] + self._steps(args[-1], ctx)
+        return [TExact(_show(term, names, self.env))]
+
+    # -- Helpers -----------------------------------------------------------------
+
+    def _match_rewrite(
+        self, head: Term, args: Tuple[Term, ...], ctx: Context
+    ) -> Optional[Tuple[Tac, Term]]:
+        names = [name for name, _ in ctx.entries]
+        if not isinstance(head, Const):
+            return None
+        if head.name == "eq_ind" and len(args) == 6:
+            _carrier, _x, _motive, body, _y, proof = args
+            phead, pargs = unfold_app(proof)
+            if (
+                isinstance(phead, Const)
+                and phead.name == "eq_sym"
+                and len(pargs) == 4
+            ):
+                # eq_ind A y P b x (eq_sym A x y p): a forward rewrite by p.
+                return (TRewrite(_show(pargs[3], names, self.env), rev=False), body)
+            return (TRewrite(_show(proof, names, self.env), rev=True), body)
+        if head.name == "eq_ind_r" and len(args) == 6:
+            _carrier, _x, _motive, body, _y, proof = args
+            return (TRewrite(_show(proof, names, self.env), rev=False), body)
+        return None
+
+    def _decompile_induction(
+        self, term: Elim, ctx: Context
+    ) -> Optional[TInduction]:
+        assert isinstance(term.scrut, Rel)
+        scrut_name = ctx.name_of(term.scrut.index)
+        try:
+            decl = self.env.inductive(term.ind)
+        except Exception:
+            return None
+        if decl.n_indices:
+            return None
+        from ..kernel.inductive import analyze_recursive_args
+
+        case_names: List[Tuple[str, ...]] = []
+        case_scripts: List[Script] = []
+        for j, case in enumerate(term.cases):
+            rec = analyze_recursive_args(decl, j)
+            n_binders = len(decl.constructors[j].args) + sum(
+                1 for r in rec if r is not None
+            )
+            body = case
+            names: List[str] = []
+            sub_ctx = ctx
+            for _ in range(n_binders):
+                if not isinstance(body, Lam):
+                    # The case is not fully eta-expanded; fall back.
+                    return None
+                fresh = sub_ctx.fresh_name(
+                    body.name if body.name != "_" else "a"
+                )
+                names.append(fresh)
+                sub_ctx = sub_ctx.push(fresh, body.domain)
+                body = body.body
+            case_names.append(tuple(names))
+            case_scripts.append(self.decompile(body, sub_ctx))
+        return TInduction(
+            scrut=scrut_name,
+            case_names=tuple(case_names),
+            cases=tuple(case_scripts),
+        )
+
+    def _is_proof(self, term: Term, ctx: Context) -> bool:
+        """Heuristic: is this argument a proof (rather than data)?"""
+        try:
+            ty = infer(self.env, ctx, term)
+            sort = infer(self.env, ctx, ty)
+        except TypeError_:
+            return False
+        return isinstance(whnf(self.env, sort), Sort) and whnf(
+            self.env, sort
+        ).is_prop
+
+
+def _drop_last_arg(term: Term) -> Term:
+    assert isinstance(term, App)
+    return term.fn
+
+
+def decompile(env: Environment, term: Term, ctx: Optional[Context] = None) -> Script:
+    """Decompile a proof term to a Qtac script (Figure 14)."""
+    return Decompiler(env).decompile(term, ctx)

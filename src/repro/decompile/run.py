@@ -1,0 +1,88 @@
+"""Execute decompiled scripts against the tactic engine.
+
+This closes the loop the paper leaves to the proof engineer: a suggested
+script is *replayed* against the repaired theorem statement, and the
+resulting proof term is kernel checked.  A script that runs to ``Qed``
+here is a script the proof engineer can actually maintain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.env import Environment
+from ..kernel.term import Term
+from ..tactics.engine import Proof, TacticError
+from ..tactics import tactics as T
+from .qtac import (
+    Script,
+    Tac,
+    TApply,
+    TExact,
+    TIntro,
+    TIntros,
+    TInduction,
+    TLeft,
+    TReflexivity,
+    TRewrite,
+    TRight,
+    TSimpl,
+    TSplit,
+    TSymmetry,
+)
+
+
+class ScriptError(Exception):
+    """Raised when a decompiled script fails to replay."""
+
+
+def run_script(env: Environment, statement: Term, script: Script) -> Term:
+    """Replay ``script`` against ``statement``; return the checked proof."""
+    proof = Proof(env, statement)
+    _run(proof, script)
+    if not proof.complete:
+        raise ScriptError(
+            f"script left {len(proof.goals)} open goal(s)"
+        )
+    return proof.qed()
+
+
+def _run(proof: Proof, script: Script) -> None:
+    for tac in script.steps:
+        _step(proof, tac)
+
+
+def _step(proof: Proof, tac: Tac) -> None:
+    try:
+        if isinstance(tac, TIntro):
+            proof.run(T.intro(tac.name))
+        elif isinstance(tac, TIntros):
+            proof.run(T.intros(*tac.names))
+        elif isinstance(tac, TSymmetry):
+            proof.run(T.symmetry())
+        elif isinstance(tac, TSimpl):
+            proof.run(T.simpl())
+        elif isinstance(tac, TRewrite):
+            proof.run(T.rewrite(tac.proof, rev=tac.rev))
+        elif isinstance(tac, TApply):
+            proof.run(T.apply(tac.term))
+        elif isinstance(tac, TExact):
+            proof.run(T.exact(tac.term))
+        elif isinstance(tac, TReflexivity):
+            proof.run(T.reflexivity())
+        elif isinstance(tac, TLeft):
+            proof.run(T.left())
+        elif isinstance(tac, TRight):
+            proof.run(T.right())
+        elif isinstance(tac, TSplit):
+            proof.run(T.split())
+            _run(proof, tac.branches[0])
+            _run(proof, tac.branches[1])
+        elif isinstance(tac, TInduction):
+            proof.run(T.induction(tac.scrut, names=list(tac.case_names)))
+            for case in tac.cases:
+                _run(proof, case)
+        else:
+            raise ScriptError(f"unknown tactic {tac!r}")
+    except TacticError as exc:
+        raise ScriptError(f"tactic {tac!r} failed: {exc}") from exc

@@ -1,0 +1,61 @@
+"""Local typing contexts for de Bruijn terms.
+
+A :class:`Context` is an immutable stack of ``(name, type)`` entries where
+entry 0 is the *innermost* binder (``Rel(0)``).  Types are stored as they
+were at declaration time; :meth:`Context.type_of` lifts them into the
+current context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from .term import Term, TermError, lift
+
+
+@dataclass(frozen=True)
+class Context:
+    """An immutable local typing context."""
+
+    entries: Tuple[Tuple[str, Term], ...] = ()
+
+    @staticmethod
+    def empty() -> "Context":
+        return Context(())
+
+    def push(self, name: str, ty: Term) -> "Context":
+        """Extend the context with a new innermost binder."""
+        return Context(((name, ty),) + self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Tuple[str, Term]]:
+        return iter(self.entries)
+
+    def type_of(self, index: int) -> Term:
+        """Type of ``Rel(index)``, lifted into the current context."""
+        if index < 0 or index >= len(self.entries):
+            raise TermError(
+                f"unbound de Bruijn index {index} in context of size "
+                f"{len(self.entries)}"
+            )
+        _name, ty = self.entries[index]
+        return lift(ty, index + 1)
+
+    def name_of(self, index: int) -> str:
+        """Display name of ``Rel(index)``."""
+        if index < 0 or index >= len(self.entries):
+            return f"_rel{index}"
+        return self.entries[index][0]
+
+    def fresh_name(self, hint: str) -> str:
+        """Return ``hint`` or a primed variant unused in this context."""
+        used = {name for name, _ in self.entries}
+        if hint not in used:
+            return hint
+        counter = 0
+        while f"{hint}{counter}" in used:
+            counter += 1
+        return f"{hint}{counter}"

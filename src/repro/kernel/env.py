@@ -1,0 +1,280 @@
+"""Global environments: constants and inductive declarations.
+
+The environment is mutable (declarations are appended as a development is
+processed) but individual declarations are immutable.  Declaring a
+constant or inductive type checks it first, so a populated environment
+only ever contains well-typed globals — the same invariant Coq's kernel
+maintains for plugins like Pumpkin Pi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .inductive import (
+    InductiveDecl,
+    InductiveError,
+    case_type,
+    check_positivity,
+)
+from .term import (
+    Const,
+    Elim,
+    Ind,
+    Pi,
+    Rel,
+    Sort,
+    Term,
+    TermError,
+    lift,
+    mk_app,
+    mk_lams,
+    mk_pis,
+    type_sort,
+)
+
+
+class EnvError(TermError):
+    """Raised for missing or duplicate global declarations."""
+
+
+@dataclass(frozen=True)
+class ConstantDecl:
+    """A global definition: a type and an optional (delta-unfoldable) body."""
+
+    name: str
+    type: Term
+    body: Optional[Term] = None
+    opaque: bool = False
+
+    @property
+    def unfoldable(self) -> bool:
+        return self.body is not None and not self.opaque
+
+
+class Environment:
+    """A global environment of constants and inductive families."""
+
+    def __init__(self) -> None:
+        self._constants: Dict[str, ConstantDecl] = {}
+        self._inductives: Dict[str, InductiveDecl] = {}
+        self._decl_order: List[str] = []
+
+    # -- Lookup -------------------------------------------------------------
+
+    def has_constant(self, name: str) -> bool:
+        return name in self._constants
+
+    def has_inductive(self, name: str) -> bool:
+        return name in self._inductives
+
+    def constant(self, name: str) -> ConstantDecl:
+        try:
+            return self._constants[name]
+        except KeyError:
+            raise EnvError(f"unknown constant {name!r}") from None
+
+    def inductive(self, name: str) -> InductiveDecl:
+        try:
+            return self._inductives[name]
+        except KeyError:
+            raise EnvError(f"unknown inductive {name!r}") from None
+
+    def constants(self) -> Iterable[ConstantDecl]:
+        return list(self._constants.values())
+
+    def inductives(self) -> Iterable[InductiveDecl]:
+        return list(self._inductives.values())
+
+    def declaration_order(self) -> Tuple[str, ...]:
+        """Names of all globals in declaration order."""
+        return tuple(self._decl_order)
+
+    # -- Declaration --------------------------------------------------------
+
+    def declare_inductive(
+        self, decl: InductiveDecl, check: bool = True
+    ) -> InductiveDecl:
+        """Declare an inductive family, checking well-formedness.
+
+        Also defines the standard recursor constant ``<name>_rect`` whose
+        body delta-unfolds to the primitive eliminator.
+        """
+        if decl.name in self._inductives or decl.name in self._constants:
+            raise EnvError(f"duplicate global {decl.name!r}")
+        if check:
+            self._check_inductive(decl)
+        self._inductives[decl.name] = decl
+        self._decl_order.append(decl.name)
+        self._define_recursor(decl)
+        return decl
+
+    def define(
+        self,
+        name: str,
+        body: Term,
+        type: Optional[Term] = None,
+        opaque: bool = False,
+        check: bool = True,
+    ) -> ConstantDecl:
+        """Define a constant; its type is inferred when not given."""
+        from .typecheck import check as check_type
+        from .typecheck import infer
+
+        if name in self._constants or name in self._inductives:
+            raise EnvError(f"duplicate global {name!r}")
+        from .context import Context
+
+        if check:
+            inferred = infer(self, Context.empty(), body)
+            if type is not None:
+                check_type(self, Context.empty(), body, type)
+            else:
+                type = inferred
+        elif type is None:
+            raise EnvError(f"define({name!r}): need a type when check=False")
+        decl = ConstantDecl(name=name, type=type, body=body, opaque=opaque)
+        self._constants[name] = decl
+        self._decl_order.append(name)
+        return decl
+
+    def assume(self, name: str, type: Term, check: bool = True) -> ConstantDecl:
+        """Declare an axiom-like constant with no body.
+
+        The library's own developments never use this (the paper's tool is
+        axiom free); it exists for tests and for user experimentation.
+        """
+        from .context import Context
+        from .typecheck import infer_sort
+
+        if name in self._constants or name in self._inductives:
+            raise EnvError(f"duplicate global {name!r}")
+        if check:
+            infer_sort(self, Context.empty(), type)
+        decl = ConstantDecl(name=name, type=type, body=None)
+        self._constants[name] = decl
+        self._decl_order.append(name)
+        return decl
+
+    def redefine(self, name: str, body: Term, type: Term) -> ConstantDecl:
+        """Replace an existing constant (used by whole-module repair)."""
+        if name not in self._constants:
+            raise EnvError(f"cannot redefine unknown constant {name!r}")
+        decl = ConstantDecl(name=name, type=type, body=body)
+        self._constants[name] = decl
+        return decl
+
+    def remove(self, name: str) -> None:
+        """Remove a global (e.g. the old type after a successful repair)."""
+        self._constants.pop(name, None)
+        self._inductives.pop(name, None)
+        if name in self._decl_order:
+            self._decl_order.remove(name)
+
+    # -- Internal helpers ---------------------------------------------------
+
+    def _check_inductive(self, decl: InductiveDecl) -> None:
+        from .context import Context
+        from .typecheck import infer_sort
+
+        check_positivity(decl)
+        # Parameters and indices must be well-sorted telescopes.
+        ctx = Context.empty()
+        for name, ty in list(decl.params) + list(decl.indices):
+            infer_sort(self, ctx, ty)
+            ctx = ctx.push(name, ty)
+        # Constructor argument types are checked in a context where the
+        # inductive itself is visible; we add it to the environment
+        # temporarily (without recursors) for that purpose.
+        self._inductives[decl.name] = decl
+        try:
+            for j, ctor in enumerate(decl.constructors):
+                ctx = Context.empty()
+                for name, ty in decl.params:
+                    ctx = ctx.push(name, ty)
+                for name, ty in ctor.args:
+                    infer_sort(self, ctx, ty)
+                    ctx = ctx.push(name, ty)
+                if len(ctor.result_indices) != decl.n_indices:
+                    raise InductiveError(
+                        f"{decl.name}.{ctor.name}: expected "
+                        f"{decl.n_indices} result indices"
+                    )
+        finally:
+            del self._inductives[decl.name]
+
+    def _define_recursor(self, decl: InductiveDecl) -> None:
+        """Define ``<name>_rect``: the Curry-style recursor constant.
+
+        Its type is::
+
+            Pi params (P : Pi indices, I params indices -> Type2)
+               cases... indices... (x : I params indices), P indices x
+
+        and its body wraps the primitive ``Elim``.  The motive sort is a
+        fixed large ``Type`` level; cumulativity lets callers use motives
+        landing in ``Prop``/``Set``/``Type1`` as well.
+        """
+        np = decl.n_params
+        ni = decl.n_indices
+        nc = decl.n_constructors
+
+        # Build everything inside the binder stack:
+        #   params (np) , P (1) , cases (nc) , indices (ni) , x (1)
+        def param_vars(depth: int) -> Tuple[Term, ...]:
+            return tuple(Rel(depth + np - 1 - m) for m in range(np))
+
+        # Motive type, under params:
+        #   Pi indices, (I params indices) -> Type2
+        index_tele = list(decl.indices)
+        ind_applied = mk_app(
+            Ind(decl.name),
+            param_vars(ni) + tuple(Rel(ni - 1 - k) for k in range(ni)),
+        )
+        motive_ty = mk_pis(
+            index_tele, Pi("_x", ind_applied, type_sort(2))
+        )
+
+        binders: List[Tuple[str, Term]] = list(decl.params)
+        binders.append(("P", motive_ty))
+        # Case types, under params + P.
+        params_here = param_vars(1)
+        motive_var: Term = Rel(0)
+        for j in range(nc):
+            ct = case_type(decl, j, params_here, motive_var)
+            # Each case binder sits under the previous case binders; the
+            # case types only mention params and P, so lift by j.
+            binders.append((f"f{j}", lift(ct, j)))
+        # Index binders, under params + P + cases: lift index types by 1+nc.
+        for k, (name, ty) in enumerate(decl.indices):
+            binders.append((name, lift(ty, 1 + nc, k)))
+        # Scrutinee binder.
+        depth_x = 1 + nc + ni
+        scrut_ty = mk_app(
+            Ind(decl.name),
+            tuple(Rel(depth_x + np - 1 - m) for m in range(np))
+            + tuple(Rel(ni - 1 - k) for k in range(ni)),
+        )
+        binders.append(("x", scrut_ty))
+
+        total = np + 1 + nc + ni + 1
+        motive_here = Rel(total - np - 1)
+        cases_here = tuple(
+            Rel(total - np - 1 - 1 - j) for j in range(nc)
+        )
+        result_ty = mk_app(
+            motive_here,
+            tuple(Rel(1 + ni - 1 - k) for k in range(ni)) + (Rel(0),),
+        )
+        rect_type = mk_pis(binders, result_ty)
+        rect_body = mk_lams(
+            binders,
+            Elim(decl.name, motive_here, cases_here, Rel(0)),
+        )
+        name = f"{decl.name}_rect"
+        if name in self._constants:
+            return
+        decl_const = ConstantDecl(name=name, type=rect_type, body=rect_body)
+        self._constants[name] = decl_const
+        self._decl_order.append(name)

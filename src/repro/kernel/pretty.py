@@ -1,0 +1,142 @@
+"""Pretty printing of terms in a Gallina-like concrete syntax.
+
+The printer is the inverse of :mod:`repro.syntax.parser` on the common
+fragment; eliminators print as ``Elim[ind](scrut; motive){case, ...}``
+which the parser also accepts.  When an environment is supplied,
+constructors print by name (``S``, ``cons``) when the name is globally
+unambiguous, and as ``ind#j`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .context import Context
+from .term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+    Term,
+    occurs_rel,
+    unfold_app,
+)
+
+_ATOM = 0
+_APP = 1
+_ARROW = 2
+_BINDER = 3
+
+
+def pretty(term: Term, ctx: Optional[Context] = None, env=None) -> str:
+    """Render ``term`` using names from ``ctx`` for free variables."""
+    names = [name for name, _ in (ctx.entries if ctx else ())]
+    printer = _Printer(env)
+    return printer.pp(term, names, _BINDER)
+
+
+class _Printer:
+    def __init__(self, env) -> None:
+        self._ctor_names: Dict[Tuple[str, int], str] = {}
+        if env is not None:
+            counts: Dict[str, int] = {}
+            for decl in env.inductives():
+                for ctor in decl.constructors:
+                    counts[ctor.name] = counts.get(ctor.name, 0) + 1
+            for decl in env.inductives():
+                for j, ctor in enumerate(decl.constructors):
+                    if counts[ctor.name] == 1:
+                        self._ctor_names[(decl.name, j)] = ctor.name
+                    else:
+                        self._ctor_names[(decl.name, j)] = (
+                            f"{decl.name}.{ctor.name}"
+                        )
+
+    def _ctor(self, ind: str, index: int) -> str:
+        return self._ctor_names.get((ind, index), f"{ind}#{index}")
+
+    def pp(self, term: Term, names: List[str], prec: int) -> str:
+        if isinstance(term, Rel):
+            if term.index < len(names):
+                return names[term.index]
+            return f"_rel{term.index - len(names)}"
+
+        if isinstance(term, Sort):
+            if term.is_prop:
+                return "Prop"
+            if term.is_set:
+                return "Set"
+            return f"Type{term.level}"
+
+        if isinstance(term, (Const, Ind)):
+            return term.name
+
+        if isinstance(term, Constr):
+            return self._ctor(term.ind, term.index)
+
+        if isinstance(term, App):
+            head, args = unfold_app(term)
+            parts = [self.pp(head, names, _ATOM)]
+            parts.extend(self.pp(a, names, _ATOM) for a in args)
+            rendered = " ".join(parts)
+            return _paren(rendered, prec < _APP)
+
+        if isinstance(term, Lam):
+            binders: List[Tuple[str, str]] = []
+            body = term
+            local = list(names)
+            while isinstance(body, Lam):
+                name = _fresh(local, body.name)
+                binders.append((name, self.pp(body.domain, local, _ARROW)))
+                local.insert(0, name)
+                body = body.body
+            binder_str = " ".join(f"({n} : {t})" for n, t in binders)
+            rendered = f"fun {binder_str} => {self.pp(body, local, _BINDER)}"
+            return _paren(rendered, prec < _BINDER)
+
+        if isinstance(term, Pi):
+            if not occurs_rel(term.codomain, 0):
+                left = self.pp(term.domain, names, _APP)
+                right = self.pp(term.codomain, ["_"] + list(names), _ARROW)
+                rendered = f"{left} -> {right}"
+                return _paren(rendered, prec < _ARROW)
+            binders = []
+            body = term
+            local = list(names)
+            while isinstance(body, Pi) and occurs_rel(body.codomain, 0):
+                name = _fresh(local, body.name)
+                binders.append((name, self.pp(body.domain, local, _ARROW)))
+                local.insert(0, name)
+                body = body.codomain
+            binder_str = " ".join(f"({n} : {t})" for n, t in binders)
+            rendered = (
+                f"forall {binder_str}, {self.pp(body, local, _BINDER)}"
+            )
+            return _paren(rendered, prec < _BINDER)
+
+        if isinstance(term, Elim):
+            motive = self.pp(term.motive, names, _BINDER)
+            scrut = self.pp(term.scrut, names, _BINDER)
+            cases = ", ".join(self.pp(c, names, _BINDER) for c in term.cases)
+            return f"Elim[{term.ind}]({scrut}; {motive}){{{cases}}}"
+
+        return repr(term)
+
+
+def _fresh(names: List[str], hint: str) -> str:
+    base = hint if hint and hint != "_" else "x"
+    if base not in names:
+        return base
+    counter = 0
+    while f"{base}{counter}" in names:
+        counter += 1
+    return f"{base}{counter}"
+
+
+def _paren(rendered: str, need: bool) -> str:
+    return f"({rendered})" if need else rendered

@@ -1,0 +1,204 @@
+"""Reduction: beta, iota, delta, and normal forms.
+
+Implements weak-head normalization (:func:`whnf`) and full normalization
+(:func:`nf`).  Delta unfolding of constants can be restricted via a
+``frozen`` set — the implementation analogue of Pumpkin Pi's cache that
+tells the tool *not* to delta-reduce certain terms (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .env import Environment
+from .inductive import iota_reduce
+from .term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+    Term,
+    TermError,
+    mk_app,
+    subst,
+    unfold_app,
+)
+
+
+class ReduceError(TermError):
+    """Raised when reduction encounters an ill-formed redex."""
+
+
+def whnf(
+    env: Environment,
+    term: Term,
+    delta: bool = True,
+    frozen: Optional[FrozenSet[str]] = None,
+) -> Term:
+    """Weak-head normal form of ``term``.
+
+    ``delta=False`` disables constant unfolding entirely; ``frozen`` names
+    constants that must not be unfolded even when delta is enabled.
+    """
+    frozen = frozen or frozenset()
+    args: List[Term] = []
+    while True:
+        if isinstance(term, App):
+            args.append(term.arg)
+            term = term.fn
+            continue
+        if isinstance(term, Lam) and args:
+            term = subst(term.body, args.pop())
+            continue
+        if isinstance(term, Const) and delta and term.name not in frozen:
+            decl = env.constant(term.name)
+            if decl.unfoldable:
+                term = decl.body
+                continue
+        if isinstance(term, Elim):
+            scrut = whnf(env, term.scrut, delta=delta, frozen=frozen)
+            head, ctor_args = unfold_app(scrut)
+            if isinstance(head, Constr) and head.ind == term.ind:
+                decl = env.inductive(term.ind)
+                n_params = decl.n_params
+                params = ctor_args[:n_params]
+                value_args = ctor_args[n_params:]
+                term = iota_reduce(
+                    decl,
+                    term.motive,
+                    term.cases,
+                    head.index,
+                    params,
+                    value_args,
+                )
+                continue
+            term = Elim(term.ind, term.motive, term.cases, scrut)
+        break
+    args.reverse()
+    return mk_app(term, args)
+
+
+def nf(
+    env: Environment,
+    term: Term,
+    delta: bool = True,
+    frozen: Optional[FrozenSet[str]] = None,
+) -> Term:
+    """Full (strong) normal form of ``term``."""
+    frozen = frozen or frozenset()
+    term = whnf(env, term, delta=delta, frozen=frozen)
+    if isinstance(term, (Rel, Sort, Const, Ind, Constr)):
+        return term
+    if isinstance(term, App):
+        head, args = unfold_app(term)
+        # The head of a whnf application is not a redex; normalize pieces.
+        norm_head = _nf_head(env, head, delta, frozen)
+        norm_args = [nf(env, a, delta=delta, frozen=frozen) for a in args]
+        return mk_app(norm_head, norm_args)
+    if isinstance(term, Lam):
+        return Lam(
+            term.name,
+            nf(env, term.domain, delta=delta, frozen=frozen),
+            nf(env, term.body, delta=delta, frozen=frozen),
+        )
+    if isinstance(term, Pi):
+        return Pi(
+            term.name,
+            nf(env, term.domain, delta=delta, frozen=frozen),
+            nf(env, term.codomain, delta=delta, frozen=frozen),
+        )
+    if isinstance(term, Elim):
+        return Elim(
+            term.ind,
+            nf(env, term.motive, delta=delta, frozen=frozen),
+            tuple(nf(env, c, delta=delta, frozen=frozen) for c in term.cases),
+            nf(env, term.scrut, delta=delta, frozen=frozen),
+        )
+    raise ReduceError(f"nf: unknown term {term!r}")
+
+
+def _nf_head(
+    env: Environment, head: Term, delta: bool, frozen: FrozenSet[str]
+) -> Term:
+    """Normalize the head of a stuck application spine."""
+    if isinstance(head, (Rel, Sort, Const, Ind, Constr)):
+        return head
+    if isinstance(head, Elim):
+        return Elim(
+            head.ind,
+            nf(env, head.motive, delta=delta, frozen=frozen),
+            tuple(nf(env, c, delta=delta, frozen=frozen) for c in head.cases),
+            nf(env, head.scrut, delta=delta, frozen=frozen),
+        )
+    if isinstance(head, (Lam, Pi)):
+        # A whnf application cannot have a Lam head with pending args, but a
+        # spine can be empty; normalize structurally.
+        return nf(env, head, delta=delta, frozen=frozen)
+    raise ReduceError(f"nf: unexpected application head {head!r}")
+
+
+def beta_reduce(term: Term) -> Term:
+    """Pure beta reduction to normal form (no environment needed).
+
+    Used by the transformation to clean up configuration-term
+    applications without unfolding any globals.
+    """
+    if isinstance(term, App):
+        fn = beta_reduce(term.fn)
+        arg = beta_reduce(term.arg)
+        if isinstance(fn, Lam):
+            return beta_reduce(subst(fn.body, arg))
+        return App(fn, arg)
+    if isinstance(term, Lam):
+        return Lam(term.name, beta_reduce(term.domain), beta_reduce(term.body))
+    if isinstance(term, Pi):
+        return Pi(
+            term.name, beta_reduce(term.domain), beta_reduce(term.codomain)
+        )
+    if isinstance(term, Elim):
+        return Elim(
+            term.ind,
+            beta_reduce(term.motive),
+            tuple(beta_reduce(c) for c in term.cases),
+            beta_reduce(term.scrut),
+        )
+    return term
+
+
+def beta_iota_reduce(env: Environment, term: Term) -> Term:
+    """Beta + iota normalization without delta unfolding.
+
+    This is the reduction the proof term transformation applies to its
+    output (step 4 in Figure 11): it simplifies applications of the
+    configuration terms without unfolding unrelated constants.
+    """
+    return nf(env, term, delta=False)
+
+
+def unfold_constant(env: Environment, term: Term, name: str) -> Term:
+    """Delta-unfold exactly the constant ``name`` everywhere in ``term``."""
+    decl = env.constant(name)
+    if decl.body is None:
+        raise ReduceError(f"constant {name!r} has no body to unfold")
+
+    def go(t: Term) -> Term:
+        if isinstance(t, Const) and t.name == name:
+            return decl.body
+        if isinstance(t, App):
+            return App(go(t.fn), go(t.arg))
+        if isinstance(t, Lam):
+            return Lam(t.name, go(t.domain), go(t.body))
+        if isinstance(t, Pi):
+            return Pi(t.name, go(t.domain), go(t.codomain))
+        if isinstance(t, Elim):
+            return Elim(
+                t.ind, go(t.motive), tuple(go(c) for c in t.cases), go(t.scrut)
+            )
+        return t
+
+    return go(term)

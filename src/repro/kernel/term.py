@@ -1,0 +1,576 @@
+"""Core term language: CIC_omega with primitive eliminators.
+
+This module implements the syntax of Figure 7 of the paper:
+
+    t ::= v | s | Pi (v : t). t | lambda (v : t). t | t t
+        | Ind (v : t){t, ..., t} | Constr (i, t) | Elim(t, t){t, ..., t}
+
+with two engineering deviations that do not change the calculus:
+
+* Variables are de Bruijn indices (``Rel``) internally; binders carry a
+  display name used only for printing.  Global names (``Const``) refer to
+  definitions in a :class:`~repro.kernel.env.Environment`.
+* Inductive types are declared once in the environment and referenced by
+  name (``Ind``); constructors are ``Constr(name, index)``.  The primitive
+  eliminator ``Elim`` carries the inductive name, the motive, one case per
+  constructor, and the scrutinee.  Parameters and indices are recovered
+  from the scrutinee's type during type checking and reduction.
+
+All terms are immutable and hashable so they can be cached aggressively
+(the paper emphasizes caching for performance, Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+
+class TermError(Exception):
+    """Raised on malformed terms or misuse of term-level operations."""
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class for all CIC_omega terms."""
+
+    __slots__ = ()
+
+    # --- Convenience constructors -----------------------------------------
+
+    def app(self, *args: "Term") -> "Term":
+        """Apply this term to ``args``, left associated."""
+        result: Term = self
+        for arg in args:
+            result = App(result, arg)
+        return result
+
+    # --- Structural helpers -----------------------------------------------
+
+    def subterms(self) -> Iterator["Term"]:
+        """Yield the immediate subterms (not recursive)."""
+        return iter(())
+
+    def is_closed(self) -> bool:
+        """Return True when the term has no free de Bruijn variables."""
+        return not free_rels(self)
+
+
+@dataclass(frozen=True)
+class Rel(Term):
+    """A bound variable as a de Bruijn index (0 = innermost binder)."""
+
+    __slots__ = ("index",)
+    index: int
+
+    def __repr__(self) -> str:
+        return f"Rel({self.index})"
+
+
+@dataclass(frozen=True)
+class Sort(Term):
+    """A sort: Prop, Set, or Type(i) for i >= 1.
+
+    We encode Prop as level -1 and Set as level 0; ``Type(i)`` has level i.
+    Cumulativity: Prop <= Set <= Type(1) <= Type(2) <= ...
+    """
+
+    __slots__ = ("level",)
+    level: int
+
+    @property
+    def is_prop(self) -> bool:
+        return self.level == -1
+
+    @property
+    def is_set(self) -> bool:
+        return self.level == 0
+
+    def __repr__(self) -> str:
+        if self.is_prop:
+            return "Prop"
+        if self.is_set:
+            return "Set"
+        return f"Type({self.level})"
+
+
+PROP = Sort(-1)
+SET = Sort(0)
+TYPE1 = Sort(1)
+
+
+def type_sort(level: int = 1) -> Sort:
+    """Return the sort ``Type(level)``."""
+    if level < 1:
+        raise TermError(f"Type levels start at 1, got {level}")
+    return Sort(level)
+
+
+@dataclass(frozen=True)
+class Pi(Term):
+    """Dependent product ``forall (name : domain), codomain``.
+
+    The binder name is a display hint only: terms compare and hash up to
+    alpha-equivalence (de Bruijn representation makes this free).
+    """
+
+    name: str = field(compare=False)
+    domain: Term = field(compare=True)
+    codomain: Term = field(compare=True)
+
+    def subterms(self) -> Iterator[Term]:
+        yield self.domain
+        yield self.codomain
+
+
+@dataclass(frozen=True)
+class Lam(Term):
+    """Abstraction ``fun (name : domain) => body``.
+
+    As with :class:`Pi`, the binder name does not affect equality.
+    """
+
+    name: str = field(compare=False)
+    domain: Term = field(compare=True)
+    body: Term = field(compare=True)
+
+    def subterms(self) -> Iterator[Term]:
+        yield self.domain
+        yield self.body
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application ``fn arg`` (binary; use :func:`mk_app` for spines)."""
+
+    fn: Term
+    arg: Term
+
+    def subterms(self) -> Iterator[Term]:
+        yield self.fn
+        yield self.arg
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A reference to a global definition (delta-unfoldable)."""
+
+    __slots__ = ("name",)
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Const({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Ind(Term):
+    """A reference to a declared inductive type family."""
+
+    __slots__ = ("name",)
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Ind({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Constr(Term):
+    """The ``index``-th constructor (0-based) of inductive ``ind``."""
+
+    __slots__ = ("ind", "index")
+    ind: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"Constr({self.ind!r}, {self.index})"
+
+
+@dataclass(frozen=True)
+class Elim(Term):
+    """Primitive eliminator ``Elim(scrut, motive){cases}`` over ``ind``.
+
+    ``motive`` has type ``Pi indices, ind params indices -> s`` and there is
+    one case per constructor, in declaration order.
+    """
+
+    ind: str
+    motive: Term
+    cases: Tuple[Term, ...]
+    scrut: Term
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cases, tuple):
+            object.__setattr__(self, "cases", tuple(self.cases))
+
+    def subterms(self) -> Iterator[Term]:
+        yield self.motive
+        yield from self.cases
+        yield self.scrut
+
+
+# ---------------------------------------------------------------------------
+# Spine helpers
+# ---------------------------------------------------------------------------
+
+
+# ---------------------------------------------------------------------------
+# Hash caching
+# ---------------------------------------------------------------------------
+#
+# Terms are hashed constantly (transformation caches, matching tables).
+# The dataclass-generated __hash__ walks the whole tree on every call;
+# we wrap it so each node computes its hash once.  Children are hashed
+# through the same wrapper, so a tree is hashed in O(size) total and O(1)
+# afterwards.
+
+
+def _install_cached_hash(cls) -> None:
+    generated = cls.__hash__
+
+    def cached_hash(self):
+        try:
+            return object.__getattribute__(self, "_hash_cache")
+        except AttributeError:
+            value = generated(self)
+            object.__setattr__(self, "_hash_cache", value)
+            return value
+
+    cls.__hash__ = cached_hash
+
+
+# Composite nodes (whose hash walks children) get the cache; leaves keep
+# the generated O(1) hash.
+for _cls in (Pi, Lam, App, Elim):
+    _install_cached_hash(_cls)
+del _cls
+
+
+def mk_app(fn: Term, args: Sequence[Term]) -> Term:
+    """Apply ``fn`` to a sequence of arguments, left associated."""
+    result = fn
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def unfold_app(term: Term) -> Tuple[Term, Tuple[Term, ...]]:
+    """Decompose nested applications into ``(head, args)``."""
+    args: list[Term] = []
+    while isinstance(term, App):
+        args.append(term.arg)
+        term = term.fn
+    args.reverse()
+    return term, tuple(args)
+
+
+def mk_pis(binders: Sequence[Tuple[str, Term]], body: Term) -> Term:
+    """Build ``forall binders, body`` (binders listed outermost first)."""
+    result = body
+    for name, ty in reversed(binders):
+        result = Pi(name, ty, result)
+    return result
+
+
+def mk_lams(binders: Sequence[Tuple[str, Term]], body: Term) -> Term:
+    """Build ``fun binders => body`` (binders listed outermost first)."""
+    result = body
+    for name, ty in reversed(binders):
+        result = Lam(name, ty, result)
+    return result
+
+
+def unfold_pis(term: Term) -> Tuple[Tuple[Tuple[str, Term], ...], Term]:
+    """Strip leading Pis, returning the telescope and the final body."""
+    binders: list[Tuple[str, Term]] = []
+    while isinstance(term, Pi):
+        binders.append((term.name, term.domain))
+        term = term.codomain
+    return tuple(binders), term
+
+
+def unfold_lams(term: Term) -> Tuple[Tuple[Tuple[str, Term], ...], Term]:
+    """Strip leading lambdas, returning the telescope and the body."""
+    binders: list[Tuple[str, Term]] = []
+    while isinstance(term, Lam):
+        binders.append((term.name, term.domain))
+        term = term.body
+    return tuple(binders), term
+
+
+# ---------------------------------------------------------------------------
+# De Bruijn operations: lifting and substitution
+# ---------------------------------------------------------------------------
+
+
+def lift(term: Term, amount: int, cutoff: int = 0) -> Term:
+    """Shift free variables ``>= cutoff`` by ``amount``."""
+    if amount == 0:
+        return term
+    return _lift(term, amount, cutoff)
+
+
+def _lift(term: Term, amount: int, cutoff: int) -> Term:
+    if isinstance(term, Rel):
+        if term.index >= cutoff:
+            new_index = term.index + amount
+            if new_index < 0:
+                raise TermError("lift produced a negative de Bruijn index")
+            return Rel(new_index)
+        return term
+    if isinstance(term, (Sort, Const, Ind, Constr)):
+        return term
+    if isinstance(term, App):
+        return App(_lift(term.fn, amount, cutoff), _lift(term.arg, amount, cutoff))
+    if isinstance(term, Lam):
+        return Lam(
+            term.name,
+            _lift(term.domain, amount, cutoff),
+            _lift(term.body, amount, cutoff + 1),
+        )
+    if isinstance(term, Pi):
+        return Pi(
+            term.name,
+            _lift(term.domain, amount, cutoff),
+            _lift(term.codomain, amount, cutoff + 1),
+        )
+    if isinstance(term, Elim):
+        return Elim(
+            term.ind,
+            _lift(term.motive, amount, cutoff),
+            tuple(_lift(case, amount, cutoff) for case in term.cases),
+            _lift(term.scrut, amount, cutoff),
+        )
+    raise TermError(f"lift: unknown term {term!r}")
+
+
+def subst(term: Term, replacement: Term, index: int = 0) -> Term:
+    """Substitute ``replacement`` for ``Rel(index)`` in ``term``.
+
+    Variables above ``index`` are shifted down by one, implementing the
+    standard beta-substitution discipline.
+    """
+    return _subst(term, replacement, index)
+
+
+def _subst(term: Term, replacement: Term, index: int) -> Term:
+    if isinstance(term, Rel):
+        if term.index == index:
+            return lift(replacement, index)
+        if term.index > index:
+            return Rel(term.index - 1)
+        return term
+    if isinstance(term, (Sort, Const, Ind, Constr)):
+        return term
+    if isinstance(term, App):
+        return App(
+            _subst(term.fn, replacement, index),
+            _subst(term.arg, replacement, index),
+        )
+    if isinstance(term, Lam):
+        return Lam(
+            term.name,
+            _subst(term.domain, replacement, index),
+            _subst(term.body, replacement, index + 1),
+        )
+    if isinstance(term, Pi):
+        return Pi(
+            term.name,
+            _subst(term.domain, replacement, index),
+            _subst(term.codomain, replacement, index + 1),
+        )
+    if isinstance(term, Elim):
+        return Elim(
+            term.ind,
+            _subst(term.motive, replacement, index),
+            tuple(_subst(case, replacement, index) for case in term.cases),
+            _subst(term.scrut, replacement, index),
+        )
+    raise TermError(f"subst: unknown term {term!r}")
+
+
+def subst_many(term: Term, replacements: Sequence[Term]) -> Term:
+    """Substitute ``replacements[0]`` for ``Rel(0)``, ``[1]`` for ``Rel(1)``...
+
+    All replacements are substituted simultaneously: ``replacements[i]``
+    replaces ``Rel(i)`` and free variables above ``len(replacements)`` are
+    shifted down accordingly.  Each replacement is interpreted in the
+    context *outside* all the substituted binders.
+    """
+    result = term
+    for replacement in replacements:
+        result = subst(result, replacement, 0)
+    return result
+
+
+def free_rels(term: Term, cutoff: int = 0) -> frozenset:
+    """Return the set of free de Bruijn indices, adjusted to ``cutoff``.
+
+    An index ``i`` in the result means ``Rel(i + cutoff)`` occurs free when
+    the term is viewed under ``cutoff`` extra binders; with the default
+    cutoff this is simply the set of free indices.
+    """
+    out: set[int] = set()
+    _free_rels(term, cutoff, out)
+    return frozenset(out)
+
+
+def _free_rels(term: Term, cutoff: int, out: set) -> None:
+    if isinstance(term, Rel):
+        if term.index >= cutoff:
+            out.add(term.index - cutoff)
+        return
+    if isinstance(term, (Sort, Const, Ind, Constr)):
+        return
+    if isinstance(term, App):
+        _free_rels(term.fn, cutoff, out)
+        _free_rels(term.arg, cutoff, out)
+        return
+    if isinstance(term, Lam):
+        _free_rels(term.domain, cutoff, out)
+        _free_rels(term.body, cutoff + 1, out)
+        return
+    if isinstance(term, Pi):
+        _free_rels(term.domain, cutoff, out)
+        _free_rels(term.codomain, cutoff + 1, out)
+        return
+    if isinstance(term, Elim):
+        _free_rels(term.motive, cutoff, out)
+        for case in term.cases:
+            _free_rels(case, cutoff, out)
+        _free_rels(term.scrut, cutoff, out)
+        return
+    raise TermError(f"free_rels: unknown term {term!r}")
+
+
+def occurs_rel(term: Term, index: int) -> bool:
+    """Return True when ``Rel(index)`` occurs free in ``term``."""
+    return index in free_rels(term)
+
+
+def abstract_term(term: Term, target: Term, depth: int = 0) -> Term:
+    """Replace occurrences of ``target`` (a closed term) with ``Rel(depth)``.
+
+    Other free variables are shifted up by one so the result is well formed
+    directly under one new binder.  Used by tactics (e.g. motive inference
+    for ``rewrite`` and ``induction``) and by search procedures.
+    """
+    lifted = lift(term, 1, 0)
+    return _replace(lifted, lift(target, 1, 0), depth, 0)
+
+
+def _replace(term: Term, target: Term, rel_index: int, cutoff: int) -> Term:
+    if term == lift(target, cutoff, 0):
+        return Rel(rel_index + cutoff)
+    if isinstance(term, (Rel, Sort, Const, Ind, Constr)):
+        return term
+    if isinstance(term, App):
+        return App(
+            _replace(term.fn, target, rel_index, cutoff),
+            _replace(term.arg, target, rel_index, cutoff),
+        )
+    if isinstance(term, Lam):
+        return Lam(
+            term.name,
+            _replace(term.domain, target, rel_index, cutoff),
+            _replace(term.body, target, rel_index, cutoff + 1),
+        )
+    if isinstance(term, Pi):
+        return Pi(
+            term.name,
+            _replace(term.domain, target, rel_index, cutoff),
+            _replace(term.codomain, target, rel_index, cutoff + 1),
+        )
+    if isinstance(term, Elim):
+        return Elim(
+            term.ind,
+            _replace(term.motive, target, rel_index, cutoff),
+            tuple(
+                _replace(case, target, rel_index, cutoff) for case in term.cases
+            ),
+            _replace(term.scrut, target, rel_index, cutoff),
+        )
+    raise TermError(f"abstract_term: unknown term {term!r}")
+
+
+def replace_subterm(term: Term, old: Term, new: Term) -> Term:
+    """Replace every occurrence of the closed term ``old`` with ``new``."""
+    return _replace_closed(term, old, new, 0)
+
+
+def _replace_closed(term: Term, old: Term, new: Term, cutoff: int) -> Term:
+    if term == old:
+        return lift(new, cutoff, 0) if cutoff else new
+    if isinstance(term, (Rel, Sort, Const, Ind, Constr)):
+        return term
+    if isinstance(term, App):
+        return App(
+            _replace_closed(term.fn, old, new, cutoff),
+            _replace_closed(term.arg, old, new, cutoff),
+        )
+    if isinstance(term, Lam):
+        return Lam(
+            term.name,
+            _replace_closed(term.domain, old, new, cutoff),
+            _replace_closed(term.body, old, new, cutoff + 1),
+        )
+    if isinstance(term, Pi):
+        return Pi(
+            term.name,
+            _replace_closed(term.domain, old, new, cutoff),
+            _replace_closed(term.codomain, old, new, cutoff + 1),
+        )
+    if isinstance(term, Elim):
+        return Elim(
+            term.ind,
+            _replace_closed(term.motive, old, new, cutoff),
+            tuple(
+                _replace_closed(case, old, new, cutoff) for case in term.cases
+            ),
+            _replace_closed(term.scrut, old, new, cutoff),
+        )
+    raise TermError(f"replace_subterm: unknown term {term!r}")
+
+
+def count_nodes(term: Term) -> int:
+    """Return the number of AST nodes in ``term`` (a size metric)."""
+    total = 1
+    for sub in term.subterms():
+        total += count_nodes(sub)
+    return total
+
+
+def mentions_global(term: Term, name: str) -> bool:
+    """Return True when ``term`` refers to the global ``name``.
+
+    Checks constants, inductive references, constructors, and eliminators.
+    Used by repair to verify that the old type was fully removed.
+    """
+    if isinstance(term, Const) and term.name == name:
+        return True
+    if isinstance(term, Ind) and term.name == name:
+        return True
+    if isinstance(term, Constr) and term.ind == name:
+        return True
+    if isinstance(term, Elim) and term.ind == name:
+        return True
+    return any(mentions_global(sub, name) for sub in term.subterms())
+
+
+def collect_globals(term: Term) -> frozenset:
+    """Return the set of global names referenced by ``term``."""
+    out: set[str] = set()
+    _collect_globals(term, out)
+    return frozenset(out)
+
+
+def _collect_globals(term: Term, out: set) -> None:
+    if isinstance(term, Const):
+        out.add(term.name)
+    elif isinstance(term, (Ind,)):
+        out.add(term.name)
+    elif isinstance(term, Constr):
+        out.add(term.ind)
+    elif isinstance(term, Elim):
+        out.add(term.ind)
+    for sub in term.subterms():
+        _collect_globals(sub, out)

@@ -1,0 +1,223 @@
+"""The type checker for CIC_omega with primitive eliminators.
+
+Bidirectional-in-spirit: :func:`infer` synthesizes a type; :func:`check`
+verifies a term against an expected type using cumulativity.  The typing
+rules are the standard ones (the paper says "the typing rules are
+standard", Section 4); the eliminator rule uses
+:func:`repro.kernel.inductive.case_type` to compute branch types.
+
+Sort arithmetic:
+
+* ``Prop : Type(1)``, ``Set : Type(1)``, ``Type(i) : Type(i+1)``.
+* ``Pi (x : A), B`` lands in ``Prop`` when ``B`` does (impredicative
+  Prop), otherwise in ``Type(max(level A, level B))``.
+* Cumulativity ``Prop <= Set <= Type(1) <= ...`` is used when checking.
+
+Like Coq's kernel as used by Pumpkin Pi, the checker is liberal about
+elimination sorts (no Prop-elimination restriction); the paper's formal
+setting, CIC_omega, does not impose one either.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .context import Context
+from .convert import conv, sub
+from .env import Environment
+from .inductive import case_type
+from .reduce import whnf
+from .term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+    Term,
+    TermError,
+    lift,
+    mk_app,
+    subst,
+    unfold_app,
+)
+
+
+class TypeError_(TermError):
+    """A type error, carrying a human-readable explanation."""
+
+
+def infer(env: Environment, ctx: Context, term: Term) -> Term:
+    """Infer the type of ``term`` in ``ctx``; raise TypeError_ on failure."""
+    if isinstance(term, Rel):
+        return ctx.type_of(term.index)
+
+    if isinstance(term, Sort):
+        if term.is_prop or term.is_set:
+            return Sort(1)
+        return Sort(term.level + 1)
+
+    if isinstance(term, Const):
+        return env.constant(term.name).type
+
+    if isinstance(term, Ind):
+        return env.inductive(term.name).arity()
+
+    if isinstance(term, Constr):
+        decl = env.inductive(term.ind)
+        if not (0 <= term.index < decl.n_constructors):
+            raise TypeError_(
+                f"{term.ind} has no constructor #{term.index}"
+            )
+        return decl.constructor_type(term.index)
+
+    if isinstance(term, Pi):
+        dom_sort = infer_sort(env, ctx, term.domain)
+        cod_sort = infer_sort(
+            env, ctx.push(term.name, term.domain), term.codomain
+        )
+        if cod_sort.is_prop:
+            return Sort(-1)
+        return Sort(max(dom_sort.level, cod_sort.level, 0))
+
+    if isinstance(term, Lam):
+        infer_sort(env, ctx, term.domain)
+        body_ty = infer(env, ctx.push(term.name, term.domain), term.body)
+        return Pi(term.name, term.domain, body_ty)
+
+    if isinstance(term, App):
+        fn_ty = whnf(env, infer(env, ctx, term.fn))
+        if not isinstance(fn_ty, Pi):
+            raise TypeError_(
+                f"application of a non-function: head has type {fn_ty!r}"
+            )
+        check(env, ctx, term.arg, fn_ty.domain)
+        return _head_beta(subst(fn_ty.codomain, term.arg))
+
+    if isinstance(term, Elim):
+        return _infer_elim(env, ctx, term)
+
+    raise TypeError_(f"cannot infer type of {term!r}")
+
+
+def _head_beta(term: Term) -> Term:
+    """Contract leading beta redexes (cosmetic cleanup of inferred types)."""
+    while True:
+        head, args = unfold_app(term)
+        if not (isinstance(head, Lam) and args):
+            return term
+        term = mk_app(subst(head.body, args[0]), args[1:])
+
+
+def check(env: Environment, ctx: Context, term: Term, expected: Term) -> None:
+    """Check ``term`` against ``expected`` (up to cumulativity)."""
+    actual = infer(env, ctx, term)
+    if not sub(env, actual, expected):
+        from .pretty import pretty
+
+        raise TypeError_(
+            "type mismatch:\n"
+            f"  term:     {pretty(term, ctx=ctx)}\n"
+            f"  has type: {pretty(actual, ctx=ctx)}\n"
+            f"  expected: {pretty(expected, ctx=ctx)}"
+        )
+
+
+def infer_sort(env: Environment, ctx: Context, term: Term) -> Sort:
+    """Infer the type of ``term`` and require it to be a sort."""
+    ty = whnf(env, infer(env, ctx, term))
+    if not isinstance(ty, Sort):
+        raise TypeError_(f"expected a type, got a term of type {ty!r}")
+    return ty
+
+
+def _infer_elim(env: Environment, ctx: Context, term: Elim) -> Term:
+    decl = env.inductive(term.ind)
+    if len(term.cases) != decl.n_constructors:
+        raise TypeError_(
+            f"Elim over {term.ind}: expected {decl.n_constructors} cases, "
+            f"got {len(term.cases)}"
+        )
+
+    # Scrutinee type determines parameters and indices.
+    scrut_ty = whnf(env, infer(env, ctx, term.scrut))
+    head, args = unfold_app(scrut_ty)
+    if not (isinstance(head, Ind) and head.name == term.ind):
+        raise TypeError_(
+            f"Elim over {term.ind}: scrutinee has type {scrut_ty!r}"
+        )
+    params = args[: decl.n_params]
+    indices = args[decl.n_params :]
+
+    # The motive must accept the indices and the scrutinee.
+    motive_ty = infer(env, ctx, term.motive)
+    expected_motive_ty = _expected_motive_type(env, decl, params)
+    if not _motive_ok(env, ctx, motive_ty, expected_motive_ty):
+        from .pretty import pretty
+
+        raise TypeError_(
+            f"Elim over {term.ind}: motive has type "
+            f"{pretty(motive_ty, ctx=ctx)}, expected shape "
+            f"{pretty(expected_motive_ty, ctx=ctx)}"
+        )
+
+    for j, case in enumerate(term.cases):
+        expected = case_type(decl, j, params, term.motive)
+        check(env, ctx, case, expected)
+
+    from .reduce import beta_reduce
+
+    return beta_reduce(mk_app(term.motive, tuple(indices) + (term.scrut,)))
+
+
+def _expected_motive_type(
+    env: Environment, decl, params: Tuple[Term, ...]
+) -> Term:
+    """``Pi indices, I params indices -> Type(big)`` for shape checking."""
+    from .inductive import instantiate_telescope
+    from .term import mk_pis, type_sort
+
+    index_tele = instantiate_telescope(
+        tuple(decl.params) + tuple(decl.indices), params
+    )
+    ni = decl.n_indices
+    applied = mk_app(
+        Ind(decl.name),
+        tuple(lift(p, ni) for p in params)
+        + tuple(Rel(ni - 1 - k) for k in range(ni)),
+    )
+    return mk_pis(index_tele, Pi("_x", applied, type_sort(2)))
+
+
+def _motive_ok(
+    env: Environment, ctx: Context, motive_ty: Term, expected: Term
+) -> bool:
+    """Motive type matches the expected telescope, landing in any sort."""
+    mt = whnf(env, motive_ty)
+    et = whnf(env, expected)
+    while isinstance(et, Pi):
+        if not isinstance(mt, Pi):
+            return False
+        if not conv(env, mt.domain, et.domain):
+            return False
+        mt = whnf(env, mt.codomain)
+        et = whnf(env, et.codomain)
+    # ``et`` is the placeholder sort; the motive may land in any sort.
+    return isinstance(mt, Sort)
+
+
+def typecheck_closed(env: Environment, term: Term) -> Term:
+    """Infer the type of a closed term in the empty context."""
+    return infer(env, Context.empty(), term)
+
+
+def is_well_typed(env: Environment, term: Term, ctx: Optional[Context] = None) -> bool:
+    """Return True when ``term`` type checks (convenience for tests)."""
+    try:
+        infer(env, ctx or Context.empty(), term)
+        return True
+    except TermError:
+        return False

@@ -1,0 +1,457 @@
+"""Binary natural numbers (Figure 9): ``positive`` and ``N``.
+
+This module reproduces the Coq standard library pieces that Section 6.3
+depends on:
+
+* ``positive`` with constructors in the paper's order (``xI``, ``xO``,
+  ``xH``) and ``N`` (``N0``, ``Npos``),
+* ``Pos.succ``, ``N.succ``, binary (logarithmic) addition ``Pos.add`` /
+  ``N.add``,
+* the Peano recursors ``Pos.peano_rect`` / ``N.peano_rect``, defined with
+  the *primitive* eliminators only (no fixpoints), and
+* the propositional iota rules ``Pos.peano_rect_succ`` /
+  ``N.peano_rect_succ``, which the manual configuration of Section 6.3
+  turns into the ``Iota`` of the nat <-> N transformation.
+
+``Pos.peano_rect`` uses the classic motive-shifting trick: eliminating
+``p`` at the motive ``fun p => forall P, P xH -> (forall q, P q ->
+P (succ q)) -> P p`` lets the ``xO``/``xI`` cases re-instantiate the
+inner motive at ``fun p => P (xO p)``, which is how the Coq standard
+library's fixpoint is expressed with a single structural eliminator.
+"""
+
+from __future__ import annotations
+
+from ..kernel.env import Environment
+from ..kernel.inductive import ConstructorDecl, InductiveDecl
+from ..kernel.term import Constr, Ind, Rel, SET, Term
+from ..syntax.parser import parse
+
+
+def declare_binary(env: Environment) -> None:
+    """Declare ``positive``, ``N``, and their operations and lemmas."""
+    _declare_types(env)
+    _define_succ(env)
+    _define_add(env)
+    _define_peano_rect(env)
+    _prove_peano_rect_succ(env)
+    _define_conversions(env)
+    _prove_add_succ_l(env)
+
+
+def _declare_types(env: Environment) -> None:
+    env.declare_inductive(
+        InductiveDecl(
+            name="positive",
+            params=(),
+            indices=(),
+            sort=SET,
+            constructors=(
+                ConstructorDecl("xI", args=(("p", Ind("positive")),)),
+                ConstructorDecl("xO", args=(("p", Ind("positive")),)),
+                ConstructorDecl("xH", args=()),
+            ),
+        )
+    )
+    env.declare_inductive(
+        InductiveDecl(
+            name="N",
+            params=(),
+            indices=(),
+            sort=SET,
+            constructors=(
+                ConstructorDecl("N0", args=()),
+                ConstructorDecl("Npos", args=(("p", Ind("positive")),)),
+            ),
+        )
+    )
+
+
+def _define_succ(env: Environment) -> None:
+    env.define(
+        "Pos.succ",
+        parse(
+            env,
+            """
+            fun (p : positive) =>
+              Elim[positive](p; fun (_ : positive) => positive)
+                { fun (q : positive) (IH : positive) => xO IH,
+                  fun (q : positive) (IH : positive) => xI q,
+                  xO xH }
+            """,
+        ),
+    )
+    env.define(
+        "N.succ",
+        parse(
+            env,
+            """
+            fun (n : N) =>
+              Elim[N](n; fun (_ : N) => N)
+                { Npos xH,
+                  fun (p : positive) => Npos (Pos.succ p) }
+            """,
+        ),
+    )
+
+
+def _define_add(env: Environment) -> None:
+    # Binary addition without a separate carry function:
+    #   xI a + xI b = xO (succ (a + b));   xI a + xO b = xI (a + b)
+    #   xI a + xH   = xO (succ a)
+    #   xO a + xI b = xI (a + b);          xO a + xO b = xO (a + b)
+    #   xO a + xH   = xI a
+    #   xH   + b    = succ b
+    env.define(
+        "Pos.add",
+        parse(
+            env,
+            """
+            fun (x : positive) =>
+              Elim[positive](x;
+                  fun (_ : positive) => positive -> positive)
+                { fun (a : positive) (IH : positive -> positive)
+                      (y : positive) =>
+                    Elim[positive](y; fun (_ : positive) => positive)
+                      { fun (b : positive) (IH2 : positive) =>
+                          xO (Pos.succ (IH b)),
+                        fun (b : positive) (IH2 : positive) => xI (IH b),
+                        xO (Pos.succ a) },
+                  fun (a : positive) (IH : positive -> positive)
+                      (y : positive) =>
+                    Elim[positive](y; fun (_ : positive) => positive)
+                      { fun (b : positive) (IH2 : positive) => xI (IH b),
+                        fun (b : positive) (IH2 : positive) => xO (IH b),
+                        xI a },
+                  fun (y : positive) => Pos.succ y }
+            """,
+        ),
+    )
+    env.define(
+        "N.add",
+        parse(
+            env,
+            """
+            fun (n m : N) =>
+              Elim[N](n; fun (_ : N) => N)
+                { m,
+                  fun (p : positive) =>
+                    Elim[N](m; fun (_ : N) => N)
+                      { Npos p,
+                        fun (q : positive) => Npos (Pos.add p q) } }
+            """,
+        ),
+    )
+
+
+def _define_peano_rect(env: Environment) -> None:
+    env.define(
+        "Pos.peano_rect",
+        parse(
+            env,
+            """
+            fun (P : positive -> Type2) (a : P xH)
+                (f : forall (p : positive), P p -> P (Pos.succ p))
+                (p : positive) =>
+              Elim[positive](p;
+                  fun (p : positive) =>
+                    forall (Q : positive -> Type2),
+                      Q xH ->
+                      (forall (q : positive), Q q -> Q (Pos.succ q)) ->
+                      Q p)
+                { fun (q : positive)
+                      (IH : forall (Q : positive -> Type2),
+                              Q xH ->
+                              (forall (r : positive),
+                                 Q r -> Q (Pos.succ r)) ->
+                              Q q)
+                      (Q : positive -> Type2) (a0 : Q xH)
+                      (f0 : forall (r : positive), Q r -> Q (Pos.succ r)) =>
+                    f0 (xO q)
+                       (IH (fun (r : positive) => Q (xO r))
+                           (f0 xH a0)
+                           (fun (r : positive) (x : Q (xO r)) =>
+                              f0 (xI r) (f0 (xO r) x))),
+                  fun (q : positive)
+                      (IH : forall (Q : positive -> Type2),
+                              Q xH ->
+                              (forall (r : positive),
+                                 Q r -> Q (Pos.succ r)) ->
+                              Q q)
+                      (Q : positive -> Type2) (a0 : Q xH)
+                      (f0 : forall (r : positive), Q r -> Q (Pos.succ r)) =>
+                    IH (fun (r : positive) => Q (xO r))
+                       (f0 xH a0)
+                       (fun (r : positive) (x : Q (xO r)) =>
+                          f0 (xI r) (f0 (xO r) x)),
+                  fun (Q : positive -> Type2) (a0 : Q xH)
+                      (f0 : forall (r : positive), Q r -> Q (Pos.succ r)) =>
+                    a0 }
+                P a f
+            """,
+        ),
+    )
+    env.define(
+        "N.peano_rect",
+        parse(
+            env,
+            """
+            fun (P : N -> Type2) (a : P N0)
+                (f : forall (n : N), P n -> P (N.succ n))
+                (n : N) =>
+              Elim[N](n; fun (n : N) => P n)
+                { a,
+                  fun (p : positive) =>
+                    Pos.peano_rect
+                      (fun (q : positive) => P (Npos q))
+                      (f N0 a)
+                      (fun (q : positive) (x : P (Npos q)) =>
+                         f (Npos q) x)
+                      p }
+            """,
+        ),
+    )
+
+
+def _prove_peano_rect_succ(env: Environment) -> None:
+    """Prove the propositional iota rules (the key lemmas of Section 6.3)."""
+    from ..tactics import prove
+    from ..tactics.tactics import induction, intro, intros, reflexivity, rewrite
+
+    # The induction needs an IH that is general in (P, a, f): the xI case
+    # re-instantiates them at the shifted motive P o xO.  So we prove an
+    # auxiliary statement with ``p`` quantified first, then wrap it into
+    # the standard argument order.
+    aux_stmt = parse(
+        env,
+        """
+        forall (p : positive) (P : positive -> Type1) (a : P xH)
+               (f : forall (q : positive), P q -> P (Pos.succ q)),
+          eq (P (Pos.succ p))
+             (Pos.peano_rect P a f (Pos.succ p))
+             (f p (Pos.peano_rect P a f p))
+        """,
+    )
+    step = (
+        "(fun (r : positive) (x : P (xO r)) => f (xI r) (f (xO r) x))"
+    )
+    env.define(
+        "Pos.peano_rect_succ_aux",
+        prove(
+            env,
+            aux_stmt,
+            intro("p"),
+            induction("p", names=[["q", "IHq"], ["q", "IHq"], []]),
+            # xI q: succ (xI q) = xO (succ q); rewrite with the IH at the
+            # shifted motive, then both sides coincide definitionally.
+            intros("P", "a", "f"),
+            rewrite(
+                "IHq (fun (r : positive) => P (xO r)) (f xH a) " + step
+            ),
+            reflexivity(),
+            # xO q: both sides reduce to the same term.
+            intros("P", "a", "f"),
+            reflexivity(),
+            # xH
+            intros("P", "a", "f"),
+            reflexivity(),
+        ),
+        type=aux_stmt,
+    )
+    pos_stmt = parse(
+        env,
+        """
+        forall (P : positive -> Type1) (a : P xH)
+               (f : forall (p : positive), P p -> P (Pos.succ p))
+               (p : positive),
+          eq (P (Pos.succ p))
+             (Pos.peano_rect P a f (Pos.succ p))
+             (f p (Pos.peano_rect P a f p))
+        """,
+    )
+    env.define(
+        "Pos.peano_rect_succ",
+        parse(
+            env,
+            """
+            fun (P : positive -> Type1) (a : P xH)
+                (f : forall (p : positive), P p -> P (Pos.succ p))
+                (p : positive) =>
+              Pos.peano_rect_succ_aux p P a f
+            """,
+        ),
+        type=pos_stmt,
+    )
+
+    n_stmt = parse(
+        env,
+        """
+        forall (P : N -> Type1) (a : P N0)
+               (f : forall (n : N), P n -> P (N.succ n))
+               (n : N),
+          eq (P (N.succ n))
+             (N.peano_rect P a f (N.succ n))
+             (f n (N.peano_rect P a f n))
+        """,
+    )
+    env.define(
+        "N.peano_rect_succ",
+        prove(
+            env,
+            n_stmt,
+            intros("P", "a", "f", "n"),
+            induction("n", names=[[], ["p"]]),
+            reflexivity(),
+            rewrite(
+                "Pos.peano_rect_succ (fun (q : positive) => P (Npos q)) "
+                "(f N0 a) "
+                "(fun (q : positive) (x : P (Npos q)) => f (Npos q) x) p"
+            ),
+            reflexivity(),
+        ),
+        type=n_stmt,
+    )
+
+
+def _define_conversions(env: Environment) -> None:
+    """Conversions between unary and binary numbers (used by tests)."""
+    env.define(
+        "N.of_nat",
+        parse(
+            env,
+            """
+            fun (n : nat) =>
+              Elim[nat](n; fun (_ : nat) => N)
+                { N0, fun (p : nat) (IH : N) => N.succ IH }
+            """,
+        ),
+    )
+    env.define(
+        "N.double",
+        parse(
+            env,
+            """
+            fun (n : N) =>
+              Elim[N](n; fun (_ : N) => N)
+                { N0, fun (p : positive) => Npos (xO p) }
+            """,
+        ),
+    )
+    env.define(
+        "N.div2",
+        parse(
+            env,
+            """
+            fun (n : N) =>
+              Elim[N](n; fun (_ : N) => N)
+                { N0,
+                  fun (p : positive) =>
+                    Elim[positive](p; fun (_ : positive) => N)
+                      { fun (q : positive) (IH : N) => Npos q,
+                        fun (q : positive) (IH : N) => Npos q,
+                        N0 } }
+            """,
+        ),
+    )
+    env.define(
+        "N.odd",
+        parse(
+            env,
+            """
+            fun (n : N) =>
+              Elim[N](n; fun (_ : N) => bool)
+                { false,
+                  fun (p : positive) =>
+                    Elim[positive](p; fun (_ : positive) => bool)
+                      { fun (q : positive) (IH : bool) => true,
+                        fun (q : positive) (IH : bool) => false,
+                        true } }
+            """,
+        ),
+    )
+    env.define(
+        "N.to_nat",
+        parse(
+            env,
+            """
+            fun (n : N) =>
+              N.peano_rect (fun (_ : N) => nat) O
+                (fun (m : N) (IH : nat) => S IH) n
+            """,
+        ),
+    )
+
+
+def _prove_add_succ_l(env: Environment) -> None:
+    """``Pos.add_succ_l`` / ``N.add_succ_l``, used by ``add_fast_add``."""
+    from ..tactics import prove
+    from ..tactics.tactics import induction, intro, intros, reflexivity, rewrite, simpl
+
+    pos_stmt = parse(
+        env,
+        """
+        forall (p q : positive),
+          eq positive (Pos.add (Pos.succ p) q)
+                      (Pos.succ (Pos.add p q))
+        """,
+    )
+    env.define(
+        "Pos.add_succ_l",
+        prove(
+            env,
+            pos_stmt,
+            intro("p"),
+            induction("p", names=[["a", "IHa"], ["a", "IHa"], []]),
+            # p = xI a: destruct q; the xI/xO subcases rewrite with IHa.
+            intro("q"),
+            induction("q", names=[["b", "IHb"], ["b", "IHb"], []]),
+            simpl(),
+            rewrite("IHa b"),
+            reflexivity(),
+            simpl(),
+            rewrite("IHa b"),
+            reflexivity(),
+            reflexivity(),
+            # p = xO a: every subcase is definitional.
+            intro("q"),
+            induction("q", names=[["b", "IHb"], ["b", "IHb"], []]),
+            reflexivity(),
+            reflexivity(),
+            reflexivity(),
+            # p = xH: destruct q; all subcases definitional.
+            intro("q"),
+            induction("q", names=[["b", "IHb"], ["b", "IHb"], []]),
+            reflexivity(),
+            reflexivity(),
+            reflexivity(),
+        ),
+        type=pos_stmt,
+    )
+
+    n_stmt = parse(
+        env,
+        """
+        forall (n m : N),
+          eq N (N.add (N.succ n) m) (N.succ (N.add n m))
+        """,
+    )
+    env.define(
+        "N.add_succ_l",
+        prove(
+            env,
+            n_stmt,
+            intros("n", "m"),
+            induction("n", names=[[], ["p"]]),
+            # n = N0: destruct m.
+            induction("m", names=[[], ["q"]]),
+            reflexivity(),
+            reflexivity(),
+            # n = Npos p: destruct m.
+            induction("m", names=[[], ["q"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("Pos.add_succ_l p q"),
+            reflexivity(),
+        ),
+        type=n_stmt,
+    )

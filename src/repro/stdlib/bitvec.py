@@ -1,0 +1,77 @@
+"""Bitvectors: the ``seq``/``bvNat``/``bvAdd`` vocabulary of Section 6.4.
+
+The Galois case study (Figure 17) works with compiler-generated tuples
+whose fields are bitvectors (``seq 32 bool``) manipulated with ``bvAdd``
+and ``bvNat``.  We implement the same vocabulary on top of our own
+substrates: ``seq n T := vector T n`` (little-endian for bool), with
+arithmetic routed through binary naturals:
+
+* ``bvToN`` folds a bit vector to an ``N``,
+* ``bvN n m`` produces the low ``n`` bits of ``m`` (truncating, as
+  hardware addition does),
+* ``bvNat n k := bvN n (N.of_nat k)`` and
+  ``bvAdd n x y := bvN n (N.add (bvToN x) (bvToN y))``.
+
+Everything computes, so facts like ``bvAdd 2 (bvNat 2 0) (bvNat 2 1) =
+bvNat 2 1`` hold by ``reflexivity`` — which is what the ``corkLemma``
+proof in the paper relies on.
+"""
+
+from __future__ import annotations
+
+from ..kernel.env import Environment
+from ..syntax.parser import parse
+
+
+def declare_bitvec(env: Environment) -> None:
+    """Declare ``seq`` and the bitvector operations."""
+    env.define(
+        "seq",
+        parse(env, "fun (n : nat) (T : Type1) => vector T n"),
+    )
+    # Fold a (little-endian) bit vector to a binary natural.
+    env.define(
+        "bvToN",
+        parse(
+            env,
+            """
+            fun (n : nat) (v : vector bool n) =>
+              Elim[vector](v;
+                  fun (m : nat) (_ : vector bool m) => N)
+                { N0,
+                  fun (b : bool) (m : nat) (rest : vector bool m)
+                      (IH : N) =>
+                    Elim[bool](b; fun (_ : bool) => N)
+                      { N.succ (N.double IH), N.double IH } }
+            """,
+        ),
+    )
+    # Low n bits of a binary natural, little-endian.
+    env.define(
+        "bvN",
+        parse(
+            env,
+            """
+            fun (n : nat) =>
+              Elim[nat](n;
+                  fun (m : nat) => N -> vector bool m)
+                { fun (v : N) => vnil bool,
+                  fun (m : nat) (IH : N -> vector bool m) (v : N) =>
+                    vcons bool (N.odd v) m (IH (N.div2 v)) }
+            """,
+        ),
+    )
+    env.define(
+        "bvNat",
+        parse(env, "fun (n k : nat) => bvN n (N.of_nat k)"),
+    )
+    env.define(
+        "bvAdd",
+        parse(
+            env,
+            """
+            fun (n : nat) (x y : vector bool n) =>
+              bvN n (N.add (bvToN n x) (bvToN n y))
+            """,
+        ),
+    )

@@ -1,0 +1,443 @@
+"""Polymorphic lists: the type, functions, and the paper's lemmas.
+
+Besides the standard ``list`` (``nil`` first, as in Figure 1 left), this
+module can declare *swapped* variants (``cons`` first, Figure 1 right)
+under a module prefix — the setup of the paper's Section 2 example, where
+``Old.list`` proofs are repaired into ``New.list`` proofs.
+
+The lemmas proved here are exactly the dependencies of the Section 2 case
+study: ``app_nil_r``, ``app_assoc``, and ``rev_app_distr``, plus the
+Devoid example functions ``zip``, ``zip_with`` and the lemma
+``zip_with_is_zip`` (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.env import Environment
+from ..kernel.inductive import ConstructorDecl, InductiveDecl
+from ..kernel.term import Ind, Rel, SET, type_sort
+from ..syntax.parser import parse
+
+TYPE1 = type_sort(1)
+
+
+def declare_list_type(
+    env: Environment, name: str = "list", swapped: bool = False
+) -> None:
+    """Declare a list type; ``swapped`` puts ``cons`` before ``nil``."""
+    nil = ConstructorDecl("nil", args=())
+    cons = ConstructorDecl(
+        "cons",
+        args=(("t", Rel(0)), ("l", Ind(name).app(Rel(1)))),
+    )
+    constructors = (cons, nil) if swapped else (nil, cons)
+    env.declare_inductive(
+        InductiveDecl(
+            name=name,
+            params=(("T", TYPE1),),
+            indices=(),
+            sort=SET,
+            constructors=constructors,
+        )
+    )
+
+
+def declare_list(env: Environment, name: str = "list") -> None:
+    """Declare ``list`` (standard order) with functions and lemmas."""
+    declare_list_type(env, name=name, swapped=False)
+    _define_functions(env, name)
+    _prove_lemmas(env, name)
+    _define_zip(env, name)
+    _define_map_fold(env, name)
+    _prove_more_lemmas(env, name)
+
+
+def _q(name: str, item: str) -> str:
+    """Qualified global name for an item of the list module ``name``."""
+    if name == "list":
+        return item
+    return f"{name}.{item}"
+
+
+def _define_functions(env: Environment, name: str) -> None:
+    nil = f"{name}.nil"
+    cons = f"{name}.cons"
+    env.define(
+        _q(name, "app"),
+        parse(
+            env,
+            f"""
+            fun (T : Type1) (l m : {name} T) =>
+              Elim[{name}](l; fun (_ : {name} T) => {name} T)
+                {{ m,
+                  fun (t : T) (rest : {name} T) (IH : {name} T) =>
+                    {cons} T t IH }}
+            """,
+        ),
+    )
+    app = _q(name, "app")
+    env.define(
+        _q(name, "rev"),
+        parse(
+            env,
+            f"""
+            fun (T : Type1) (l : {name} T) =>
+              Elim[{name}](l; fun (_ : {name} T) => {name} T)
+                {{ {nil} T,
+                  fun (t : T) (rest : {name} T) (IH : {name} T) =>
+                    {app} T IH ({cons} T t ({nil} T)) }}
+            """,
+        ),
+    )
+    env.define(
+        _q(name, "length"),
+        parse(
+            env,
+            f"""
+            fun (T : Type1) (l : {name} T) =>
+              Elim[{name}](l; fun (_ : {name} T) => nat)
+                {{ O,
+                  fun (t : T) (rest : {name} T) (IH : nat) => S IH }}
+            """,
+        ),
+    )
+
+
+def _prove_lemmas(env: Environment, name: str) -> None:
+    from ..tactics import prove
+    from ..tactics.tactics import (
+        induction,
+        intro,
+        intros,
+        reflexivity,
+        rewrite,
+        simpl,
+    )
+
+    app = _q(name, "app")
+    rev = _q(name, "rev")
+    nil = f"{name}.nil"
+    cons = f"{name}.cons"
+
+    app_nil_r = parse(
+        env,
+        f"forall (T : Type1) (l : {name} T), "
+        f"eq ({name} T) ({app} T l ({nil} T)) l",
+    )
+    env.define(
+        _q(name, "app_nil_r"),
+        prove(
+            env,
+            app_nil_r,
+            intros("T", "l"),
+            induction("l", names=[[], ["a", "rest", "IHl"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHl"),
+            reflexivity(),
+        ),
+        type=app_nil_r,
+    )
+
+    app_assoc = parse(
+        env,
+        f"forall (T : Type1) (l m n : {name} T), "
+        f"eq ({name} T) ({app} T l ({app} T m n)) "
+        f"({app} T ({app} T l m) n)",
+    )
+    env.define(
+        _q(name, "app_assoc"),
+        prove(
+            env,
+            app_assoc,
+            intros("T", "l", "m", "n"),
+            induction("l", names=[[], ["a", "rest", "IHl"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHl"),
+            reflexivity(),
+        ),
+        type=app_assoc,
+    )
+
+    # The Section 2 theorem.
+    rev_app_distr = parse(
+        env,
+        f"forall (T : Type1) (x y : {name} T), "
+        f"eq ({name} T) ({rev} T ({app} T x y)) "
+        f"({app} T ({rev} T y) ({rev} T x))",
+    )
+    app_nil_r_name = _q(name, "app_nil_r")
+    app_assoc_name = _q(name, "app_assoc")
+    env.define(
+        _q(name, "rev_app_distr"),
+        prove(
+            env,
+            rev_app_distr,
+            intros("T", "x"),
+            induction("x", names=[[], ["a", "l", "IHl"]]),
+            # nil case: forall y, rev (nil ++ y) = rev y ++ rev nil
+            intro("y"),
+            rewrite(f"{app_nil_r_name} T ({rev} T y)"),
+            reflexivity(),
+            # cons case
+            intro("y0"),
+            simpl(),
+            rewrite("IHl y0"),
+            rewrite(
+                f"{app_assoc_name} T ({rev} T y0) ({rev} T l) "
+                f"({cons} T a ({nil} T))",
+                rev=True,
+            ),
+            reflexivity(),
+        ),
+        type=rev_app_distr,
+    )
+
+
+def _define_zip(env: Environment, name: str) -> None:
+    """``zip``, ``zip_with`` and ``zip_with_is_zip`` (Section 6.2)."""
+    from ..tactics import prove
+    from ..tactics.tactics import (
+        induction,
+        intro,
+        intros,
+        reflexivity,
+        rewrite,
+        simpl,
+    )
+
+    nil = f"{name}.nil"
+    cons = f"{name}.cons"
+    env.define(
+        _q(name, "zip"),
+        parse(
+            env,
+            f"""
+            fun (A B : Type1) (l1 : {name} A) =>
+              Elim[{name}](l1;
+                  fun (_ : {name} A) => {name} B -> {name} (prod A B))
+                {{ fun (l2 : {name} B) => {nil} (prod A B),
+                  fun (a : A) (rest : {name} A)
+                      (IH : {name} B -> {name} (prod A B))
+                      (l2 : {name} B) =>
+                    Elim[{name}](l2;
+                        fun (_ : {name} B) => {name} (prod A B))
+                      {{ {nil} (prod A B),
+                        fun (b : B) (rest2 : {name} B)
+                            (IH2 : {name} (prod A B)) =>
+                          {cons} (prod A B) (pair A B a b) (IH rest2) }} }}
+            """,
+        ),
+    )
+    env.define(
+        _q(name, "zip_with"),
+        parse(
+            env,
+            f"""
+            fun (A B C : Type1) (f : A -> B -> C) (l1 : {name} A) =>
+              Elim[{name}](l1;
+                  fun (_ : {name} A) => {name} B -> {name} C)
+                {{ fun (l2 : {name} B) => {nil} C,
+                  fun (a : A) (rest : {name} A)
+                      (IH : {name} B -> {name} C)
+                      (l2 : {name} B) =>
+                    Elim[{name}](l2; fun (_ : {name} B) => {name} C)
+                      {{ {nil} C,
+                        fun (b : B) (rest2 : {name} B) (IH2 : {name} C) =>
+                          {cons} C (f a b) (IH rest2) }} }}
+            """,
+        ),
+    )
+
+    zip = _q(name, "zip")
+    zip_with = _q(name, "zip_with")
+    zip_with_is_zip = parse(
+        env,
+        f"forall (A B : Type1) (l1 : {name} A) (l2 : {name} B), "
+        f"eq ({name} (prod A B)) "
+        f"({zip_with} A B (prod A B) (pair A B) l1 l2) "
+        f"({zip} A B l1 l2)",
+    )
+    env.define(
+        _q(name, "zip_with_is_zip"),
+        prove(
+            env,
+            zip_with_is_zip,
+            intros("A", "B", "l1"),
+            induction("l1", names=[[], ["a", "rest1", "IHl1"]]),
+            # nil case
+            intro("l2"),
+            reflexivity(),
+            # cons case
+            intro("l2"),
+            induction("l2", names=[[], ["b", "rest2", "IHl2"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHl1 rest2"),
+            reflexivity(),
+        ),
+        type=zip_with_is_zip,
+    )
+
+
+def _define_map_fold(env: Environment, name: str) -> None:
+    """``map``, ``fold_right`` — the rest of the everyday list module."""
+    nil = f"{name}.nil"
+    cons = f"{name}.cons"
+    env.define(
+        _q(name, "map"),
+        parse(
+            env,
+            f"""
+            fun (A B : Type1) (f : A -> B) (l : {name} A) =>
+              Elim[{name}](l; fun (_ : {name} A) => {name} B)
+                {{ {nil} B,
+                  fun (a : A) (rest : {name} A) (IH : {name} B) =>
+                    {cons} B (f a) IH }}
+            """,
+        ),
+    )
+    env.define(
+        _q(name, "fold_right"),
+        parse(
+            env,
+            f"""
+            fun (A B : Type1) (f : A -> B -> B) (b : B) (l : {name} A) =>
+              Elim[{name}](l; fun (_ : {name} A) => B)
+                {{ b,
+                  fun (a : A) (rest : {name} A) (IH : B) => f a IH }}
+            """,
+        ),
+    )
+
+
+def _prove_more_lemmas(env: Environment, name: str) -> None:
+    """The remaining stock lemmas repaired by the Swap.v benchmark."""
+    from ..tactics import prove
+    from ..tactics.tactics import (
+        induction,
+        intros,
+        reflexivity,
+        rewrite,
+        simpl,
+    )
+
+    app = _q(name, "app")
+    rev = _q(name, "rev")
+    length = _q(name, "length")
+    map_ = _q(name, "map")
+    fold = _q(name, "fold_right")
+    nil = f"{name}.nil"
+    cons = f"{name}.cons"
+
+    map_app = parse(
+        env,
+        f"forall (A B : Type1) (f : A -> B) (l1 l2 : {name} A), "
+        f"eq ({name} B) ({map_} A B f ({app} A l1 l2)) "
+        f"({app} B ({map_} A B f l1) ({map_} A B f l2))",
+    )
+    env.define(
+        _q(name, "map_app"),
+        prove(
+            env,
+            map_app,
+            intros("A", "B", "f", "l1", "l2"),
+            induction("l1", names=[[], ["a", "rest", "IHl"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHl"),
+            reflexivity(),
+        ),
+        type=map_app,
+    )
+
+    app_length = parse(
+        env,
+        f"forall (T : Type1) (l1 l2 : {name} T), "
+        f"eq nat ({length} T ({app} T l1 l2)) "
+        f"(add ({length} T l1) ({length} T l2))",
+    )
+    env.define(
+        _q(name, "app_length"),
+        prove(
+            env,
+            app_length,
+            intros("T", "l1", "l2"),
+            induction("l1", names=[[], ["a", "rest", "IHl"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHl"),
+            reflexivity(),
+        ),
+        type=app_length,
+    )
+
+    map_length = parse(
+        env,
+        f"forall (A B : Type1) (f : A -> B) (l : {name} A), "
+        f"eq nat ({length} B ({map_} A B f l)) ({length} A l)",
+    )
+    env.define(
+        _q(name, "map_length"),
+        prove(
+            env,
+            map_length,
+            intros("A", "B", "f", "l"),
+            induction("l", names=[[], ["a", "rest", "IHl"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHl"),
+            reflexivity(),
+        ),
+        type=map_length,
+    )
+
+    rev_involutive = parse(
+        env,
+        f"forall (T : Type1) (l : {name} T), "
+        f"eq ({name} T) ({rev} T ({rev} T l)) l",
+    )
+    rev_app_distr = _q(name, "rev_app_distr")
+    env.define(
+        _q(name, "rev_involutive"),
+        prove(
+            env,
+            rev_involutive,
+            intros("T", "l"),
+            induction("l", names=[[], ["a", "rest", "IHl"]]),
+            reflexivity(),
+            simpl(),
+            rewrite(
+                f"{rev_app_distr} T ({rev} T rest) "
+                f"({cons} T a ({nil} T))"
+            ),
+            rewrite("IHl"),
+            reflexivity(),
+        ),
+        type=rev_involutive,
+    )
+
+    fold_right_app = parse(
+        env,
+        f"forall (A B : Type1) (f : A -> B -> B) (b : B) "
+        f"(l1 l2 : {name} A), "
+        f"eq B ({fold} A B f b ({app} A l1 l2)) "
+        f"({fold} A B f ({fold} A B f b l2) l1)",
+    )
+    env.define(
+        _q(name, "fold_right_app"),
+        prove(
+            env,
+            fold_right_app,
+            intros("A", "B", "f", "b", "l1", "l2"),
+            induction("l1", names=[[], ["a", "rest", "IHl"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHl"),
+            reflexivity(),
+        ),
+        type=fold_right_app,
+    )

@@ -1,0 +1,173 @@
+"""Unary natural numbers: the type, arithmetic, and the paper's lemmas.
+
+``add`` recurses on its first argument, so ``add (S n) m`` iota-reduces to
+``S (add n m)`` — the definitional iota behaviour that Section 4.1.2
+contrasts with binary numbers, where the corresponding fact is only
+propositional.
+"""
+
+from __future__ import annotations
+
+from ..kernel.env import Environment
+from ..kernel.inductive import ConstructorDecl, InductiveDecl
+from ..kernel.term import App, Constr, Ind, SET, Term
+from ..syntax.parser import parse
+
+
+def declare_nat(env: Environment) -> None:
+    """Declare ``nat`` with ``O``/``S``, arithmetic, and basic lemmas."""
+    env.declare_inductive(
+        InductiveDecl(
+            name="nat",
+            params=(),
+            indices=(),
+            sort=SET,
+            constructors=(
+                ConstructorDecl("O", args=()),
+                ConstructorDecl("S", args=(("n", Ind("nat")),)),
+            ),
+        )
+    )
+    env.define(
+        "pred",
+        parse(
+            env,
+            "fun (n : nat) => "
+            "Elim[nat](n; fun (_ : nat) => nat){ O, fun (p IH : nat) => p }",
+        ),
+    )
+    env.define(
+        "add",
+        parse(
+            env,
+            "fun (n m : nat) => "
+            "Elim[nat](n; fun (_ : nat) => nat)"
+            "{ m, fun (p IH : nat) => S IH }",
+        ),
+    )
+    env.define(
+        "mul",
+        parse(
+            env,
+            "fun (n m : nat) => "
+            "Elim[nat](n; fun (_ : nat) => nat)"
+            "{ O, fun (p IH : nat) => add m IH }",
+        ),
+    )
+    _prove_lemmas(env)
+
+
+def _prove_lemmas(env: Environment) -> None:
+    from ..tactics import prove
+    from ..tactics.tactics import (
+        induction,
+        intro,
+        intros,
+        reflexivity,
+        rewrite,
+        simpl,
+    )
+
+    add_n_O = parse(env, "forall (n : nat), eq nat (add n O) n")
+    env.define(
+        "add_n_O",
+        prove(
+            env,
+            add_n_O,
+            intro("n"),
+            induction("n", names=[[], ["p", "IHp"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHp"),
+            reflexivity(),
+        ),
+        type=add_n_O,
+    )
+
+    # The statement ported to binary numbers in Section 6.3.
+    add_n_Sm = parse(
+        env, "forall (n m : nat), eq nat (S (add n m)) (add n (S m))"
+    )
+    env.define(
+        "add_n_Sm",
+        prove(
+            env,
+            add_n_Sm,
+            intro("n"),
+            intro("m"),
+            induction("n", names=[[], ["p", "IHp"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHp"),
+            reflexivity(),
+        ),
+        type=add_n_Sm,
+    )
+
+    add_comm = parse(
+        env, "forall (n m : nat), eq nat (add n m) (add m n)"
+    )
+    env.define(
+        "add_comm",
+        prove(
+            env,
+            add_comm,
+            intro("n"),
+            intro("m"),
+            induction("n", names=[[], ["p", "IHp"]]),
+            simpl(),
+            rewrite("add_n_O m"),
+            reflexivity(),
+            simpl(),
+            rewrite("IHp"),
+            rewrite("add_n_Sm m p"),
+            reflexivity(),
+        ),
+        type=add_comm,
+    )
+
+    add_assoc = parse(
+        env,
+        "forall (n m p : nat), "
+        "eq nat (add n (add m p)) (add (add n m) p)",
+    )
+    env.define(
+        "add_assoc",
+        prove(
+            env,
+            add_assoc,
+            intros("n", "m", "p"),
+            induction("n", names=[[], ["q", "IHq"]]),
+            reflexivity(),
+            simpl(),
+            rewrite("IHq"),
+            reflexivity(),
+        ),
+        type=add_assoc,
+    )
+
+
+def nat_of_int(value: int) -> Term:
+    """The unary numeral for ``value``."""
+    if value < 0:
+        raise ValueError("nat numerals are non-negative")
+    term: Term = Constr("nat", 0)
+    for _ in range(value):
+        term = App(Constr("nat", 1), term)
+    return term
+
+
+def int_of_nat(term: Term) -> int:
+    """Decode a normalized unary numeral back to an int."""
+    from ..kernel.term import unfold_app
+
+    count = 0
+    while True:
+        head, args = unfold_app(term)
+        if head == Constr("nat", 0) and not args:
+            return count
+        if head == Constr("nat", 1) and len(args) == 1:
+            count += 1
+            term = args[0]
+            continue
+        raise ValueError(f"not a nat numeral: {term!r}")

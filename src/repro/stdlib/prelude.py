@@ -1,0 +1,385 @@
+"""The logical prelude of the object language.
+
+Declares the standard inductives (``eq``, ``unit``, ``empty``, ``bool``,
+``and``, ``or``, ``prod``, ``sigT``) and the equality combinators used by
+proofs and by the tactic decompiler (``eq_sym``, ``eq_trans``, ``f_equal``,
+``eq_ind``, ``eq_ind_r``).
+
+Conventions: data lives in ``Set``; type parameters are ``Type1``;
+propositions live in ``Prop``.  The kernel is liberal about elimination
+sorts, as is the paper's CIC_omega.
+"""
+
+from __future__ import annotations
+
+from ..kernel.env import Environment
+from ..kernel.inductive import ConstructorDecl, InductiveDecl
+from ..kernel.term import (
+    App,
+    Ind,
+    PROP,
+    Rel,
+    SET,
+    type_sort,
+)
+from ..syntax.parser import parse
+
+TYPE1 = type_sort(1)
+
+
+def declare_prelude(env: Environment) -> None:
+    """Populate ``env`` with the logical prelude."""
+    _declare_unit(env)
+    _declare_empty(env)
+    _declare_bool(env)
+    _declare_eq(env)
+    _declare_logic(env)
+    _declare_prod(env)
+    _declare_sigma(env)
+    _declare_option(env)
+    _declare_sum(env)
+
+
+def _declare_unit(env: Environment) -> None:
+    env.declare_inductive(
+        InductiveDecl(
+            name="unit",
+            params=(),
+            indices=(),
+            sort=SET,
+            constructors=(ConstructorDecl("tt", args=()),),
+        )
+    )
+
+
+def _declare_empty(env: Environment) -> None:
+    env.declare_inductive(
+        InductiveDecl(
+            name="empty",
+            params=(),
+            indices=(),
+            sort=PROP,
+            constructors=(),
+        )
+    )
+
+
+def _declare_bool(env: Environment) -> None:
+    env.declare_inductive(
+        InductiveDecl(
+            name="bool",
+            params=(),
+            indices=(),
+            sort=SET,
+            constructors=(
+                ConstructorDecl("true", args=()),
+                ConstructorDecl("false", args=()),
+            ),
+        )
+    )
+    env.define(
+        "negb",
+        parse(
+            env,
+            "fun (b : bool) => "
+            "Elim[bool](b; fun (_ : bool) => bool){ false, true }",
+        ),
+    )
+    env.define(
+        "andb",
+        parse(
+            env,
+            "fun (b1 b2 : bool) => "
+            "Elim[bool](b1; fun (_ : bool) => bool){ b2, false }",
+        ),
+    )
+    env.define(
+        "orb",
+        parse(
+            env,
+            "fun (b1 b2 : bool) => "
+            "Elim[bool](b1; fun (_ : bool) => bool){ true, b2 }",
+        ),
+    )
+
+
+def _declare_eq(env: Environment) -> None:
+    # eq (A : Type1) (x : A) : A -> Prop  with  eq_refl : eq A x x
+    env.declare_inductive(
+        InductiveDecl(
+            name="eq",
+            params=(("A", TYPE1), ("x", Rel(0))),
+            indices=(("y", Rel(1)),),
+            sort=PROP,
+            constructors=(
+                ConstructorDecl(
+                    "eq_refl", args=(), result_indices=(Rel(0),)
+                ),
+            ),
+        )
+    )
+    # Non-dependent eliminator (forward rewrite): replaces x by y.
+    env.define(
+        "eq_ind",
+        parse(
+            env,
+            "fun (A : Type1) (x : A) (P : A -> Type2) (px : P x) (y : A) "
+            "(e : eq A x y) => "
+            "Elim[eq](e; fun (y : A) (_ : eq A x y) => P y){ px }",
+        ),
+    )
+    # Reverse rewrite: from P x and y = x conclude P y.
+    env.define(
+        "eq_sym",
+        parse(
+            env,
+            "fun (A : Type1) (x y : A) (e : eq A x y) => "
+            "Elim[eq](e; fun (y : A) (_ : eq A x y) => eq A y x)"
+            "{ eq_refl A x }",
+        ),
+    )
+    env.define(
+        "eq_ind_r",
+        parse(
+            env,
+            "fun (A : Type1) (x : A) (P : A -> Type2) (px : P x) (y : A) "
+            "(e : eq A y x) => "
+            "eq_ind A x P px y (eq_sym A y x e)",
+        ),
+    )
+    env.define(
+        "eq_trans",
+        parse(
+            env,
+            "fun (A : Type1) (x y z : A) (e1 : eq A x y) (e2 : eq A y z) => "
+            "eq_ind A y (fun (w : A) => eq A x w) e1 z e2",
+        ),
+    )
+    env.define(
+        "f_equal",
+        parse(
+            env,
+            "fun (A B : Type1) (f : A -> B) (x y : A) (e : eq A x y) => "
+            "eq_ind A x (fun (w : A) => eq B (f x) (f w)) "
+            "(eq_refl B (f x)) y e",
+        ),
+    )
+
+
+def _declare_logic(env: Environment) -> None:
+    env.declare_inductive(
+        InductiveDecl(
+            name="and",
+            params=(("A", PROP), ("B", PROP)),
+            indices=(),
+            sort=PROP,
+            constructors=(
+                ConstructorDecl(
+                    "conj", args=(("a", Rel(1)), ("b", Rel(1)))
+                ),
+            ),
+        )
+    )
+    env.declare_inductive(
+        InductiveDecl(
+            name="or",
+            params=(("A", PROP), ("B", PROP)),
+            indices=(),
+            sort=PROP,
+            constructors=(
+                ConstructorDecl("or_introl", args=(("a", Rel(1)),)),
+                ConstructorDecl("or_intror", args=(("b", Rel(0)),)),
+            ),
+        )
+    )
+    env.define(
+        "proj1",
+        parse(
+            env,
+            "fun (A B : Prop) (H : and A B) => "
+            "Elim[and](H; fun (_ : and A B) => A)"
+            "{ fun (a : A) (b : B) => a }",
+        ),
+    )
+    env.define(
+        "proj2",
+        parse(
+            env,
+            "fun (A B : Prop) (H : and A B) => "
+            "Elim[and](H; fun (_ : and A B) => B)"
+            "{ fun (a : A) (b : B) => b }",
+        ),
+    )
+
+
+def _declare_prod(env: Environment) -> None:
+    env.declare_inductive(
+        InductiveDecl(
+            name="prod",
+            params=(("A", TYPE1), ("B", TYPE1)),
+            indices=(),
+            sort=TYPE1,
+            constructors=(
+                ConstructorDecl(
+                    "pair", args=(("a", Rel(1)), ("b", Rel(1)))
+                ),
+            ),
+        )
+    )
+    env.define(
+        "fst",
+        parse(
+            env,
+            "fun (A B : Type1) (p : prod A B) => "
+            "Elim[prod](p; fun (_ : prod A B) => A)"
+            "{ fun (a : A) (b : B) => a }",
+        ),
+    )
+    env.define(
+        "snd",
+        parse(
+            env,
+            "fun (A B : Type1) (p : prod A B) => "
+            "Elim[prod](p; fun (_ : prod A B) => B)"
+            "{ fun (a : A) (b : B) => b }",
+        ),
+    )
+    # Surjective pairing, proved by eliminating the pair.
+    env.define(
+        "surjective_pairing",
+        parse(
+            env,
+            "fun (A B : Type1) (p : prod A B) => "
+            "Elim[prod](p; fun (p : prod A B) => "
+            "eq (prod A B) p (pair A B (fst A B p) (snd A B p)))"
+            "{ fun (a : A) (b : B) => eq_refl (prod A B) (pair A B a b) }",
+        ),
+    )
+
+
+def _declare_sigma(env: Environment) -> None:
+    # sigT (A : Type1) (P : A -> Type1) with existT : forall x, P x -> sigT.
+    env.declare_inductive(
+        InductiveDecl(
+            name="sigT",
+            params=(
+                ("A", TYPE1),
+                ("P", _predicate_type()),
+            ),
+            indices=(),
+            sort=TYPE1,
+            constructors=(
+                ConstructorDecl(
+                    "existT",
+                    args=(
+                        ("x", Rel(1)),
+                        ("p", App(Rel(1), Rel(0))),
+                    ),
+                ),
+            ),
+        )
+    )
+    env.define(
+        "projT1",
+        parse(
+            env,
+            "fun (A : Type1) (P : A -> Type1) (s : sigT A P) => "
+            "Elim[sigT](s; fun (_ : sigT A P) => A)"
+            "{ fun (x : A) (p : P x) => x }",
+        ),
+    )
+    env.define(
+        "projT2",
+        parse(
+            env,
+            "fun (A : Type1) (P : A -> Type1) (s : sigT A P) => "
+            "Elim[sigT](s; fun (s : sigT A P) => P (projT1 A P s))"
+            "{ fun (x : A) (p : P x) => p }",
+        ),
+    )
+    # Propositional eta for sigma (Section 4.1.2 uses exactly this shape).
+    env.define(
+        "sigT_eta",
+        parse(
+            env,
+            "fun (A : Type1) (P : A -> Type1) (s : sigT A P) => "
+            "Elim[sigT](s; fun (s : sigT A P) => "
+            "eq (sigT A P) s (existT A P (projT1 A P s) (projT2 A P s)))"
+            "{ fun (x : A) (p : P x) => "
+            "eq_refl (sigT A P) (existT A P x p) }",
+        ),
+    )
+
+
+def _declare_option(env: Environment) -> None:
+    env.declare_inductive(
+        InductiveDecl(
+            name="option",
+            params=(("A", TYPE1),),
+            indices=(),
+            sort=TYPE1,
+            constructors=(
+                ConstructorDecl("None_", args=()),
+                ConstructorDecl("Some", args=(("a", Rel(0)),)),
+            ),
+        )
+    )
+    env.define(
+        "option_map",
+        parse(
+            env,
+            """
+            fun (A B : Type1) (f : A -> B) (o : option A) =>
+              Elim[option](o; fun (_ : option A) => option B)
+                { None_ B, fun (a : A) => Some B (f a) }
+            """,
+        ),
+    )
+    env.define(
+        "option_default",
+        parse(
+            env,
+            """
+            fun (A : Type1) (d : A) (o : option A) =>
+              Elim[option](o; fun (_ : option A) => A)
+                { d, fun (a : A) => a }
+            """,
+        ),
+    )
+
+
+def _declare_sum(env: Environment) -> None:
+    env.declare_inductive(
+        InductiveDecl(
+            name="sum",
+            params=(("A", TYPE1), ("B", TYPE1)),
+            indices=(),
+            sort=TYPE1,
+            constructors=(
+                ConstructorDecl("inl", args=(("a", Rel(1)),)),
+                ConstructorDecl("inr", args=(("b", Rel(0)),)),
+            ),
+        )
+    )
+    env.define(
+        "sum_swap",
+        parse(
+            env,
+            """
+            fun (A B : Type1) (s : sum A B) =>
+              Elim[sum](s; fun (_ : sum A B) => sum B A)
+                { fun (a : A) => inr B A a,
+                  fun (b : B) => inl B A b }
+            """,
+        ),
+    )
+
+
+def _predicate_type():
+    """Type of the sigma predicate parameter: ``A -> Type1``.
+
+    Written as a raw term (``Rel(0)`` is the parameter ``A``).
+    """
+    from ..kernel.term import Pi
+
+    return Pi("_", Rel(0), TYPE1)

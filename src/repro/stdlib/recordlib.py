@@ -1,0 +1,70 @@
+"""Records as single-constructor inductives, with projections.
+
+Coq elaborates ``Record`` declarations to single-constructor inductives
+plus projection functions; this module does the same for the object
+language.  The tuples<->records search procedure (Section 6.4) recognizes
+record types declared this way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..kernel.env import Environment
+from ..kernel.inductive import ConstructorDecl, InductiveDecl
+from ..kernel.term import (
+    Elim,
+    Ind,
+    Lam,
+    Rel,
+    SET,
+    Term,
+    lift,
+    mk_lams,
+)
+
+
+def declare_record(
+    env: Environment,
+    name: str,
+    fields: Sequence[Tuple[str, Term]],
+    constructor: str = None,
+) -> None:
+    """Declare a non-parametric record with the given (name, type) fields.
+
+    Field types must be closed terms (they may refer to previously declared
+    globals, including other records).  Projections are defined with the
+    field names.
+    """
+    ctor_name = constructor or f"Mk{name}"
+    # Field types are closed, so they are valid under any prefix of the
+    # constructor telescope as written.
+    args = tuple((fname, ftype) for fname, ftype in fields)
+    env.declare_inductive(
+        InductiveDecl(
+            name=name,
+            params=(),
+            indices=(),
+            sort=SET,
+            constructors=(ConstructorDecl(ctor_name, args=args),),
+        )
+    )
+    n = len(fields)
+    for i, (fname, ftype) in enumerate(fields):
+        # fname := fun (r : name) =>
+        #            Elim(r; fun _ => ftype){ fun fields... => field_i }
+        case = mk_lams(list(fields), Rel(n - 1 - i))
+        body = Lam(
+            "r",
+            Ind(name),
+            Elim(name, Lam("_", Ind(name), lift(ftype, 1)), (lift(case, 1),), Rel(0)),
+        )
+        env.define(fname, body)
+
+
+def record_fields(env: Environment, name: str) -> Tuple[Tuple[str, Term], ...]:
+    """Return the (projection name, field type) pairs of a record."""
+    decl = env.inductive(name)
+    if decl.n_constructors != 1 or decl.params or decl.indices:
+        raise ValueError(f"{name!r} is not a record-style inductive")
+    return tuple(decl.constructors[0].args)

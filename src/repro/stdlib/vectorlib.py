@@ -1,0 +1,59 @@
+"""Length-indexed vectors (Figure 5 right).
+
+``vector T : nat -> Set`` with ``vnil : vector T O`` and
+``vcons : T -> forall n, vector T n -> vector T (S n)`` — the argument
+order of the paper's Figure 5.  The packed form ``Sigma (n : nat).
+vector T n`` used by the ornament configuration (Section 6.2) is provided
+as the definition ``packed_vector``.
+"""
+
+from __future__ import annotations
+
+from ..kernel.env import Environment
+from ..kernel.inductive import ConstructorDecl, InductiveDecl
+from ..kernel.term import App, Constr, Ind, Rel, SET, type_sort
+from ..syntax.parser import parse
+
+TYPE1 = type_sort(1)
+
+
+def declare_vector(env: Environment, name: str = "vector") -> None:
+    """Declare the vector family and helpers."""
+    env.declare_inductive(
+        InductiveDecl(
+            name=name,
+            params=(("T", TYPE1),),
+            indices=(("n", Ind("nat")),),
+            sort=SET,
+            constructors=(
+                ConstructorDecl(
+                    "vnil", args=(), result_indices=(Constr("nat", 0),)
+                ),
+                ConstructorDecl(
+                    "vcons",
+                    args=(
+                        ("t", Rel(0)),
+                        ("n", Ind("nat")),
+                        ("v", Ind(name).app(Rel(2), Rel(0))),
+                    ),
+                    result_indices=(App(Constr("nat", 1), Rel(1)),),
+                ),
+            ),
+        )
+    )
+    # The packed form: Sigma (n : nat). vector T n.
+    env.define(
+        "packed_vector",
+        parse(
+            env,
+            f"fun (T : Type1) => sigT nat (fun (n : nat) => {name} T n)",
+        ),
+    )
+    env.define(
+        "vector_length",
+        parse(
+            env,
+            f"fun (T : Type1) (s : packed_vector T) => "
+            f"projT1 nat (fun (n : nat) => {name} T n) s",
+        ),
+    )

@@ -1,0 +1,98 @@
+"""Lexer for the Gallina-like surface syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+class LexError(Exception):
+    """Raised on unrecognized input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'int' | 'punct' | 'eof'
+    text: str
+    pos: int
+
+
+_PUNCTS = [
+    "=>",
+    "->",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    "@",
+    "#",
+]
+
+_IDENT_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | set("0123456789'.")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; comments are ``(* ... *)`` (nested allowed)."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("(*", i):
+            depth = 1
+            i += 2
+            while i < n and depth > 0:
+                if text.startswith("(*", i):
+                    depth += 1
+                    i += 2
+                elif text.startswith("*)", i):
+                    depth -= 1
+                    i += 2
+                else:
+                    i += 1
+            if depth > 0:
+                raise LexError("unterminated comment")
+            continue
+        matched = False
+        for punct in _PUNCTS:
+            if text.startswith(punct, i):
+                tokens.append(Token("punct", punct, i))
+                i += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token("int", text[i:j], i))
+            i = j
+            continue
+        if ch in _IDENT_START:
+            j = i
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            ident = text[i:j]
+            # Identifiers may contain dots (qualified names) but must not
+            # end with one.
+            while ident.endswith("."):
+                ident = ident[:-1]
+                j -= 1
+            tokens.append(Token("ident", ident, i))
+            i = j
+            continue
+        raise LexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,288 @@
+"""Parser for a Gallina-like surface syntax.
+
+Grammar (terms)::
+
+    term    ::= 'fun' binders '=>' term
+              | 'forall' binders ',' term
+              | arrow
+    arrow   ::= app ('->' arrow)?
+    app     ::= atom atom*
+    atom    ::= IDENT | INT | 'Prop' | 'Set' | 'Type' INT?
+              | '(' term ')'
+              | 'Elim' '[' IDENT ']' '(' term ';' term ')' '{' terms '}'
+              | IDENT '#' INT                 (constructor by index)
+    binders ::= ('(' IDENT+ ':' term ')')+
+
+Name resolution: local binders shadow globals; otherwise an identifier
+resolves to a constant, an inductive type, or an unambiguous constructor
+name.  Integer literals elaborate to unary numerals when the environment
+declares ``nat``.  This syntax is exactly what the kernel pretty printer
+emits, so printing and re-parsing round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..kernel.env import Environment
+from ..kernel.term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    PROP,
+    Pi,
+    Rel,
+    SET,
+    Term,
+    lift,
+    mk_app,
+    type_sort,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntax errors or unresolvable names."""
+
+
+class Parser:
+    """A recursive-descent parser over a token list."""
+
+    def __init__(self, env: Environment, text: str) -> None:
+        self.env = env
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self._ctor_table = _constructor_table(env)
+
+    # -- Token plumbing ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, got {tok.text!r} at position {tok.pos}"
+            )
+        return tok
+
+    def at_punct(self, text: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "punct" and tok.text == text
+
+    def at_ident(self, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        if tok.kind != "ident":
+            return False
+        return text is None or tok.text == text
+
+    # -- Grammar ---------------------------------------------------------------
+
+    def parse_term(self, bound: Tuple[str, ...] = ()) -> Term:
+        term = self._term(list(bound))
+        self.expect("eof")
+        return term
+
+    def _term(self, bound: List[str]) -> Term:
+        if self.at_ident("fun"):
+            self.next()
+            binders = self._binders(bound)
+            self.expect("punct", "=>")
+            inner = bound.copy()
+            for name, _ in binders:
+                inner.insert(0, name)
+            body = self._term(inner)
+            for name, ty in reversed(binders):
+                body = Lam(name, ty, body)
+            return self._relift_binders(body, binders, is_lam=True)
+        if self.at_ident("forall"):
+            self.next()
+            binders = self._binders(bound)
+            self.expect("punct", ",")
+            inner = bound.copy()
+            for name, _ in binders:
+                inner.insert(0, name)
+            body = self._term(inner)
+            for name, ty in reversed(binders):
+                body = Pi(name, ty, body)
+            return self._relift_binders(body, binders, is_lam=False)
+        return self._arrow(bound)
+
+    def _relift_binders(self, term: Term, binders, is_lam: bool) -> Term:
+        # Binder types were parsed in contexts that already included the
+        # *later* binders' names?  No: _binders parses each type in the
+        # context extended with the previous binders only, matching the
+        # final nesting; nothing to fix.  Kept for clarity.
+        return term
+
+    def _binders(self, bound: List[str]) -> List[Tuple[str, Term]]:
+        binders: List[Tuple[str, Term]] = []
+        inner = bound.copy()
+        saw_group = False
+        while self.at_punct("("):
+            # Lookahead: '(' IDENT ... ':' — otherwise it is an atom and we
+            # are done with binder groups.
+            save = self.pos
+            self.next()
+            names: List[str] = []
+            while self.at_ident() and not self.at_ident("forall"):
+                names.append(self.next().text)
+            if not names or not self.at_punct(":"):
+                self.pos = save
+                break
+            self.expect("punct", ":")
+            ty = self._term(inner)
+            self.expect("punct", ")")
+            for name in names:
+                binders.append((name, ty))
+                inner.insert(0, name)
+                ty = lift(ty, 1)
+            saw_group = True
+        if not saw_group:
+            raise ParseError(
+                f"expected binder group at position {self.peek().pos}"
+            )
+        return binders
+
+    def _arrow(self, bound: List[str]) -> Term:
+        left = self._app(bound)
+        if self.at_punct("->"):
+            self.next()
+            right = self._arrow(["_"] + bound)
+            return Pi("_", left, right)
+        return left
+
+    def _app(self, bound: List[str]) -> Term:
+        head = self._atom(bound)
+        while self._starts_atom():
+            arg = self._atom(bound)
+            head = App(head, arg)
+        return head
+
+    def _starts_atom(self) -> bool:
+        tok = self.peek()
+        if tok.kind == "int":
+            return True
+        if tok.kind == "punct":
+            return tok.text == "("
+        if tok.kind == "ident":
+            return tok.text not in ("fun", "forall")
+        return False
+
+    def _atom(self, bound: List[str]) -> Term:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return self._numeral(int(tok.text))
+        if self.at_punct("("):
+            self.next()
+            term = self._term(bound)
+            self.expect("punct", ")")
+            return term
+        if tok.kind == "ident" and tok.text == "Elim":
+            return self._elim(bound)
+        if tok.kind == "ident":
+            self.next()
+            # Constructor-by-index: name#j
+            if self.at_punct("#"):
+                self.next()
+                j = int(self.expect("int").text)
+                if not self.env.has_inductive(tok.text):
+                    raise ParseError(f"unknown inductive {tok.text!r}")
+                return Constr(tok.text, j)
+            return self._resolve(tok.text, bound, tok.pos)
+        raise ParseError(
+            f"unexpected token {tok.text!r} at position {tok.pos}"
+        )
+
+    def _elim(self, bound: List[str]) -> Term:
+        self.expect("ident", "Elim")
+        self.expect("punct", "[")
+        ind = self.expect("ident").text
+        self.expect("punct", "]")
+        self.expect("punct", "(")
+        scrut = self._term(bound)
+        self.expect("punct", ";")
+        motive = self._term(bound)
+        self.expect("punct", ")")
+        self.expect("punct", "{")
+        cases: List[Term] = []
+        if not self.at_punct("}"):
+            cases.append(self._term(bound))
+            while self.at_punct(","):
+                self.next()
+                cases.append(self._term(bound))
+        self.expect("punct", "}")
+        return Elim(ind, motive, tuple(cases), scrut)
+
+    def _numeral(self, value: int) -> Term:
+        if not self.env.has_inductive("nat"):
+            raise ParseError(
+                "integer literals need 'nat' declared in the environment"
+            )
+        term: Term = Constr("nat", 0)
+        for _ in range(value):
+            term = App(Constr("nat", 1), term)
+        return term
+
+    def _resolve(self, name: str, bound: List[str], pos: int) -> Term:
+        if name == "Prop":
+            return PROP
+        if name == "Set":
+            return SET
+        if name.startswith("Type") and name[4:].isdigit():
+            return type_sort(int(name[4:]))
+        if name == "Type":
+            return type_sort(1)
+        if name in bound:
+            return Rel(bound.index(name))
+        if self.env.has_constant(name):
+            return Const(name)
+        if self.env.has_inductive(name):
+            return Ind(name)
+        hits = self._ctor_table.get(name, ())
+        if len(hits) == 1:
+            ind, j = hits[0]
+            return Constr(ind, j)
+        if len(hits) > 1:
+            options = ", ".join(f"{ind}#{j}" for ind, j in hits)
+            raise ParseError(
+                f"ambiguous constructor {name!r} at position {pos}; "
+                f"write one of: {options}"
+            )
+        raise ParseError(f"unknown identifier {name!r} at position {pos}")
+
+
+def _constructor_table(
+    env: Environment,
+) -> Dict[str, Tuple[Tuple[str, int], ...]]:
+    table: Dict[str, List[Tuple[str, int]]] = {}
+    for decl in env.inductives():
+        for j, ctor in enumerate(decl.constructors):
+            table.setdefault(ctor.name, []).append((decl.name, j))
+            # Qualified form "Ind.ctor" is always unambiguous.
+            table.setdefault(f"{decl.name}.{ctor.name}", []).append(
+                (decl.name, j)
+            )
+    return {k: tuple(v) for k, v in table.items()}
+
+
+def parse(env: Environment, text: str) -> Term:
+    """Parse ``text`` into a closed term over ``env``."""
+    return Parser(env, text).parse_term()
+
+
+def parse_in(env: Environment, text: str, bound: Tuple[str, ...]) -> Term:
+    """Parse ``text`` with free variables named by ``bound`` (innermost
+    first), producing an open term."""
+    return Parser(env, text).parse_term(bound)

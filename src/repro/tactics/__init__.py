@@ -1,0 +1,6 @@
+"""Tactic engine and tactics for the object language."""
+
+from .engine import Goal, Proof, TacticError, prove
+from . import tactics
+
+__all__ = ["Goal", "Proof", "TacticError", "prove", "tactics"]

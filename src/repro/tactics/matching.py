@@ -1,0 +1,242 @@
+"""First-order pattern matching for the ``apply`` tactic.
+
+Matches a *pattern* — the conclusion of a lemma, containing de Bruijn
+variables for the lemma's Pi telescope — against a concrete goal,
+producing an assignment of telescope variables to terms.  Matching is
+first order (pattern variables must occur as heads of zero-argument
+spines) and reduces with whnf when structural comparison fails, which is
+exactly the fragment needed to apply the stdlib lemmas and the terms the
+decompiler emits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..kernel.convert import conv
+from ..kernel.env import Environment
+from ..kernel.reduce import whnf
+from ..kernel.term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+    Term,
+    free_rels,
+    lift,
+    unfold_app,
+)
+
+
+class MatchFailure(Exception):
+    """Raised when the pattern does not match the target."""
+
+
+def match_conclusion(
+    env: Environment,
+    pattern: Term,
+    n_vars: int,
+    target: Term,
+) -> Dict[int, Term]:
+    """Match ``pattern`` (with ``n_vars`` pattern variables) to ``target``.
+
+    Pattern variables are ``Rel(0) .. Rel(n_vars - 1)`` in ``pattern``;
+    other free variables refer to the shared ambient context and appear in
+    the pattern shifted up by ``n_vars``.  Returns a map from pattern
+    variable index to the matched term (in the ambient context).
+    """
+    assign: Dict[int, Term] = {}
+    _match(env, pattern, target, n_vars, 0, assign)
+    return assign
+
+
+def _match(
+    env: Environment,
+    pattern: Term,
+    target: Term,
+    n_vars: int,
+    cutoff: int,
+    assign: Dict[int, Term],
+) -> None:
+    # Pattern variable?
+    if isinstance(pattern, Rel) and cutoff <= pattern.index < cutoff + n_vars:
+        var = pattern.index - cutoff
+        rels = free_rels(target)
+        if any(r < cutoff for r in rels):
+            raise MatchFailure(
+                "matched value would capture a locally bound variable"
+            )
+        value = lift(target, -cutoff, 0) if cutoff else target
+        if var in assign:
+            if not conv(env, assign[var], value):
+                raise MatchFailure(
+                    f"conflicting assignment for pattern variable {var}"
+                )
+        else:
+            assign[var] = value
+        return
+
+    snapshot = dict(assign)
+    try:
+        if _match_structural(env, pattern, target, n_vars, cutoff, assign):
+            return
+    except MatchFailure:
+        # A deep structural mismatch may disappear after reduction (e.g.
+        # a beta redex hiding a constructor); restore and retry below.
+        assign.clear()
+        assign.update(snapshot)
+
+    # Retry after weak-head reduction of both sides.
+    pattern_w = whnf(env, pattern)
+    target_w = whnf(env, target)
+    if pattern_w != pattern or target_w != target:
+        _match(env, pattern_w, target_w, n_vars, cutoff, assign)
+        return
+    raise MatchFailure(f"pattern {pattern!r} does not match {target!r}")
+
+
+def _match_structural(
+    env: Environment,
+    pattern: Term,
+    target: Term,
+    n_vars: int,
+    cutoff: int,
+    assign: Dict[int, Term],
+) -> bool:
+    """Try node-by-node matching; return False to trigger reduction."""
+    if isinstance(pattern, Rel):
+        # Ambient or locally bound variable (pattern vars handled earlier).
+        if pattern.index >= cutoff + n_vars:
+            expected = Rel(pattern.index - n_vars)
+        else:
+            expected = pattern  # locally bound
+        if isinstance(target, Rel) and target.index == expected.index:
+            return True
+        return False
+
+    if isinstance(pattern, Sort):
+        return isinstance(target, Sort) and pattern.level == target.level
+
+    if isinstance(pattern, (Const, Ind)):
+        return type(pattern) is type(target) and pattern.name == target.name
+
+    if isinstance(pattern, Constr):
+        return (
+            isinstance(target, Constr)
+            and pattern.ind == target.ind
+            and pattern.index == target.index
+        )
+
+    if isinstance(pattern, App):
+        if not isinstance(target, App):
+            return False
+        phead, pargs = unfold_app(pattern)
+        thead, targs = unfold_app(target)
+        if isinstance(phead, Rel) and cutoff <= phead.index < cutoff + n_vars:
+            # Higher-order occurrence.  First try instantiating (every
+            # pattern variable already assigned) and comparing up to
+            # conversion; otherwise fall back to rigid decomposition
+            # (``f x =~ g y`` solved by ``f =~ g``, ``x =~ y``), which is
+            # what makes ``apply f_equal`` work, as in Coq.
+            try:
+                instantiated = instantiate_pattern(
+                    pattern, assign, n_vars, cutoff
+                )
+                if conv(env, instantiated, target):
+                    return True
+            except MatchFailure:
+                pass
+            if len(pargs) == len(targs):
+                snapshot = dict(assign)
+                try:
+                    _match(env, phead, thead, n_vars, cutoff, assign)
+                    for parg, targ in zip(pargs, targs):
+                        _match(env, parg, targ, n_vars, cutoff, assign)
+                    return True
+                except MatchFailure:
+                    assign.clear()
+                    assign.update(snapshot)
+            return False
+        if len(pargs) != len(targs):
+            return False
+        _match(env, phead, thead, n_vars, cutoff, assign)
+        for parg, targ in zip(pargs, targs):
+            _match(env, parg, targ, n_vars, cutoff, assign)
+        return True
+
+    if isinstance(pattern, Pi) and isinstance(target, Pi):
+        _match(env, pattern.domain, target.domain, n_vars, cutoff, assign)
+        _match(
+            env, pattern.codomain, target.codomain, n_vars, cutoff + 1, assign
+        )
+        return True
+
+    if isinstance(pattern, Lam) and isinstance(target, Lam):
+        _match(env, pattern.domain, target.domain, n_vars, cutoff, assign)
+        _match(env, pattern.body, target.body, n_vars, cutoff + 1, assign)
+        return True
+
+    if isinstance(pattern, Elim) and isinstance(target, Elim):
+        if pattern.ind != target.ind or len(pattern.cases) != len(target.cases):
+            return False
+        _match(env, pattern.motive, target.motive, n_vars, cutoff, assign)
+        for pcase, tcase in zip(pattern.cases, target.cases):
+            _match(env, pcase, tcase, n_vars, cutoff, assign)
+        _match(env, pattern.scrut, target.scrut, n_vars, cutoff, assign)
+        return True
+
+    return False
+
+
+def instantiate_pattern(
+    pattern: Term, assign: Dict[int, Term], n_vars: int, cutoff: int = 0
+) -> Term:
+    """Substitute assigned pattern variables, yielding a target-side term.
+
+    Raises :class:`MatchFailure` when an unassigned pattern variable is
+    encountered.
+    """
+    if isinstance(pattern, Rel):
+        if cutoff <= pattern.index < cutoff + n_vars:
+            var = pattern.index - cutoff
+            if var not in assign:
+                raise MatchFailure(f"pattern variable {var} is unassigned")
+            return lift(assign[var], cutoff)
+        if pattern.index >= cutoff + n_vars:
+            return Rel(pattern.index - n_vars)
+        return pattern
+    if isinstance(pattern, (Sort, Const, Ind, Constr)):
+        return pattern
+    if isinstance(pattern, App):
+        return App(
+            instantiate_pattern(pattern.fn, assign, n_vars, cutoff),
+            instantiate_pattern(pattern.arg, assign, n_vars, cutoff),
+        )
+    if isinstance(pattern, Lam):
+        return Lam(
+            pattern.name,
+            instantiate_pattern(pattern.domain, assign, n_vars, cutoff),
+            instantiate_pattern(pattern.body, assign, n_vars, cutoff + 1),
+        )
+    if isinstance(pattern, Pi):
+        return Pi(
+            pattern.name,
+            instantiate_pattern(pattern.domain, assign, n_vars, cutoff),
+            instantiate_pattern(pattern.codomain, assign, n_vars, cutoff + 1),
+        )
+    if isinstance(pattern, Elim):
+        return Elim(
+            pattern.ind,
+            instantiate_pattern(pattern.motive, assign, n_vars, cutoff),
+            tuple(
+                instantiate_pattern(c, assign, n_vars, cutoff)
+                for c in pattern.cases
+            ),
+            instantiate_pattern(pattern.scrut, assign, n_vars, cutoff),
+        )
+    raise MatchFailure(f"instantiate_pattern: unknown term {pattern!r}")

@@ -1,0 +1,984 @@
+"""The tactic set: Qtac (Figure 13) scaled up to a usable Ltac subset.
+
+Each tactic is a function from ``(env, goal)`` to ``(subgoals, builder)``,
+usually produced by a combinator taking tactic arguments.  The set covers
+what the decompiler emits (Section 5) — ``intro``, ``induction``,
+``rewrite``, ``symmetry``, ``apply``, ``split``, ``left``, ``right`` —
+plus the staples needed to write the standard library's proofs:
+``exact``, ``assumption``, ``reflexivity``, ``simpl``, ``exists_``,
+``auto``, and ``constructor``.
+
+Term arguments can be given as strings in the surface syntax; they are
+parsed in the goal's local context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..kernel.context import Context
+from ..kernel.convert import conv
+from ..kernel.env import Environment
+from ..kernel.inductive import case_type
+from ..kernel.reduce import nf, whnf
+from ..kernel.term import (
+    App,
+    Const,
+    Constr,
+    Sort,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Term,
+    abstract_term,
+    lift,
+    mk_app,
+    mk_lams,
+    occurs_rel,
+    subst,
+    unfold_app,
+    unfold_pis,
+)
+from ..kernel.typecheck import check, infer
+from .engine import Builder, Goal, TacticError
+from .matching import MatchFailure, match_conclusion
+
+TermLike = Union[Term, str]
+
+
+def _resolve(env: Environment, goal: Goal, term: TermLike) -> Term:
+    """Parse a string argument in the goal's context, or pass a term through."""
+    if isinstance(term, Term):
+        return term
+    from ..syntax.parser import parse_in
+
+    bound = tuple(name for name, _ in goal.ctx.entries)
+    return parse_in(env, term, bound)
+
+
+def _hyp_index(goal: Goal, hyp: Union[int, str]) -> int:
+    if isinstance(hyp, int):
+        return hyp
+    for i, (name, _) in enumerate(goal.ctx.entries):
+        if name == hyp:
+            return i
+    raise TacticError(f"no hypothesis named {hyp!r}")
+
+
+# ---------------------------------------------------------------------------
+# Introduction
+# ---------------------------------------------------------------------------
+
+
+def intro(name: Optional[str] = None):
+    """Introduce one Pi binder as a hypothesis."""
+
+    def tactic(env: Environment, goal: Goal):
+        target = whnf(env, goal.target)
+        if not isinstance(target, Pi):
+            raise TacticError("intro: goal is not a product")
+        hint = name or (target.name if target.name != "_" else "H")
+        fresh = goal.ctx.fresh_name(hint)
+        subgoal = Goal(goal.ctx.push(fresh, target.domain), target.codomain)
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            return Lam(fresh, target.domain, subproofs[0])
+
+        return [subgoal], builder
+
+    return tactic
+
+
+def intros(*names: str):
+    """Introduce several binders (all remaining ones when no names given)."""
+
+    def tactic(env: Environment, goal: Goal):
+        collected: List[Tuple[str, Term]] = []
+        ctx = goal.ctx
+        target = whnf(env, goal.target)
+        todo = list(names)
+        while isinstance(target, Pi) and (todo or not names):
+            hint = todo.pop(0) if todo else (
+                target.name if target.name != "_" else "H"
+            )
+            fresh = ctx.fresh_name(hint)
+            collected.append((fresh, target.domain))
+            ctx = ctx.push(fresh, target.domain)
+            target = whnf(env, target.codomain)
+            if names and not todo:
+                break
+        if names and todo:
+            raise TacticError("intros: not enough products in the goal")
+        if not collected:
+            raise TacticError("intros: nothing to introduce")
+        subgoal = Goal(ctx, target)
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            return mk_lams(collected, subproofs[0])
+
+        return [subgoal], builder
+
+    return tactic
+
+
+# ---------------------------------------------------------------------------
+# Closing tactics
+# ---------------------------------------------------------------------------
+
+
+def exact(term: TermLike):
+    """Close the goal with an explicit proof term."""
+
+    def tactic(env: Environment, goal: Goal):
+        resolved = _resolve(env, goal, term)
+        check(env, goal.ctx, resolved, goal.target)
+
+        def builder(_subproofs: Sequence[Term]) -> Term:
+            return resolved
+
+        return [], builder
+
+    return tactic
+
+
+def assumption():
+    """Close the goal with a hypothesis of convertible type."""
+
+    def tactic(env: Environment, goal: Goal):
+        for i in range(len(goal.ctx)):
+            if conv(env, goal.ctx.type_of(i), goal.target):
+                proof = Rel(i)
+
+                def builder(_subproofs: Sequence[Term], p=proof) -> Term:
+                    return p
+
+                return [], builder
+        raise TacticError("assumption: no matching hypothesis")
+
+    return tactic
+
+
+def reflexivity():
+    """Close an equality goal whose sides are convertible."""
+
+    def tactic(env: Environment, goal: Goal):
+        target = whnf(env, goal.target)
+        head, args = unfold_app(target)
+        if not (isinstance(head, Ind) and head.name == "eq" and len(args) == 3):
+            raise TacticError("reflexivity: goal is not an equality")
+        ty, lhs, rhs = args
+        if not conv(env, lhs, rhs):
+            raise TacticError(
+                "reflexivity: sides are not convertible"
+            )
+        proof = Constr("eq", 0).app(ty, lhs)
+
+        def builder(_subproofs: Sequence[Term]) -> Term:
+            return proof
+
+        return [], builder
+
+    return tactic
+
+
+# ---------------------------------------------------------------------------
+# Equality manipulation
+# ---------------------------------------------------------------------------
+
+
+def symmetry():
+    """Swap the sides of an equality goal."""
+
+    def tactic(env: Environment, goal: Goal):
+        target = whnf(env, goal.target)
+        head, args = unfold_app(target)
+        if not (isinstance(head, Ind) and head.name == "eq" and len(args) == 3):
+            raise TacticError("symmetry: goal is not an equality")
+        ty, lhs, rhs = args
+        subgoal = Goal(goal.ctx, Ind("eq").app(ty, rhs, lhs))
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            return Const("eq_sym").app(ty, rhs, lhs, subproofs[0])
+
+        return [subgoal], builder
+
+    return tactic
+
+
+def rewrite(proof: TermLike, rev: bool = False):
+    """Rewrite the goal along an equality proof.
+
+    With ``H : x = y``, ``rewrite(H)`` replaces ``x`` by ``y`` in the goal
+    and ``rewrite(H, rev=True)`` replaces ``y`` by ``x`` — the same
+    directions as Coq's ``rewrite H`` and ``rewrite <- H``.
+    """
+
+    def tactic(env: Environment, goal: Goal):
+        resolved = _resolve(env, goal, proof)
+        ty = whnf(env, infer(env, goal.ctx, resolved))
+        head, args = unfold_app(ty)
+        if not (isinstance(head, Ind) and head.name == "eq" and len(args) == 3):
+            raise TacticError(
+                "rewrite: proof is not of an equality (apply it first?)"
+            )
+        carrier, lhs, rhs = args
+        if rev:
+            source, dest = rhs, lhs
+        else:
+            source, dest = lhs, rhs
+        body = _abstract_conv(env, goal.target, source)
+        if not occurs_rel(body, 0):
+            raise TacticError("rewrite: nothing to rewrite")
+        motive = Lam("w", carrier, body)
+        subgoal = Goal(goal.ctx, subst(body, dest))
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            if rev:
+                # eq_ind carrier lhs motive (b : motive lhs) rhs proof
+                return Const("eq_ind").app(
+                    carrier, lhs, motive, subproofs[0], rhs, resolved
+                )
+            # eq_ind carrier rhs motive (b : motive rhs) lhs (sym proof)
+            return Const("eq_ind").app(
+                carrier,
+                rhs,
+                motive,
+                subproofs[0],
+                lhs,
+                Const("eq_sym").app(carrier, lhs, rhs, resolved),
+            )
+
+        return [subgoal], builder
+
+    return tactic
+
+
+def _abstract_conv(env: Environment, term: Term, source: Term) -> Term:
+    """Abstract occurrences of ``source`` in ``term``, up to conversion.
+
+    Like :func:`repro.kernel.term.abstract_term` but occurrences are
+    recognized definitionally, so a goal whose redexes were unfolded by
+    ``simpl`` can still be rewritten along a folded equality.
+    """
+    lifted = lift(term, 1, 0)
+    src = lift(source, 1, 0)
+
+    def go(t: Term, cutoff: int) -> Term:
+        shifted_src = lift(src, cutoff, 0)
+        if t == shifted_src:
+            return Rel(cutoff)
+        if isinstance(t, (App, Const, Elim)) and conv(env, t, shifted_src):
+            return Rel(cutoff)
+        if isinstance(t, App):
+            return App(go(t.fn, cutoff), go(t.arg, cutoff))
+        if isinstance(t, Lam):
+            return Lam(t.name, go(t.domain, cutoff), go(t.body, cutoff + 1))
+        if isinstance(t, Pi):
+            return Pi(t.name, go(t.domain, cutoff), go(t.codomain, cutoff + 1))
+        if isinstance(t, Elim):
+            return Elim(
+                t.ind,
+                go(t.motive, cutoff),
+                tuple(go(c, cutoff) for c in t.cases),
+                go(t.scrut, cutoff),
+            )
+        return t
+
+    return go(lifted, 0)
+
+
+# ---------------------------------------------------------------------------
+# Computation
+# ---------------------------------------------------------------------------
+
+
+def simpl():
+    """Normalize the goal (beta, iota, delta)."""
+
+    def tactic(env: Environment, goal: Goal):
+        subgoal = Goal(goal.ctx, nf(env, goal.target))
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            return subproofs[0]
+
+        return [subgoal], builder
+
+    return tactic
+
+
+def change(target: TermLike):
+    """Replace the goal with a convertible statement."""
+
+    def tactic(env: Environment, goal: Goal):
+        resolved = _resolve(env, goal, target)
+        if not conv(env, resolved, goal.target):
+            raise TacticError("change: statements are not convertible")
+        subgoal = Goal(goal.ctx, resolved)
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            return subproofs[0]
+
+        return [subgoal], builder
+
+    return tactic
+
+
+# ---------------------------------------------------------------------------
+# Application
+# ---------------------------------------------------------------------------
+
+
+def apply(fn: TermLike):
+    """Unify the lemma's conclusion with the goal; premises become subgoals.
+
+    Tries to match with progressively fewer instantiated binders, like
+    Coq's ``apply``.
+    """
+
+    def tactic(env: Environment, goal: Goal):
+        resolved = _resolve(env, goal, fn)
+        fn_ty = infer(env, goal.ctx, resolved)
+        binders, conclusion = unfold_pis(_full_pis(env, fn_ty))
+        n = len(binders)
+
+        last_error: Optional[Exception] = None
+        for used in range(n, -1, -1):
+            # Conclusion when only the first ``used`` binders are
+            # instantiated; the rest stay part of the conclusion.
+            concl = conclusion
+            for name, dom in reversed(binders[used:]):
+                concl = Pi(name, dom, concl)
+            try:
+                assign = match_conclusion(env, concl, used, goal.target)
+            except MatchFailure as exc:
+                last_error = exc
+                continue
+            return _apply_with(env, goal, resolved, binders[:used], assign)
+        raise TacticError(f"apply: conclusion does not match goal ({last_error})")
+
+    return tactic
+
+
+def _full_pis(env: Environment, ty: Term) -> Term:
+    """Expose every leading Pi, unfolding the head as needed."""
+    result = ty
+    while True:
+        stripped, body = unfold_pis(result)
+        body_w = whnf(env, body)
+        if isinstance(body_w, Pi):
+            from ..kernel.term import mk_pis
+
+            result = mk_pis(stripped, body_w)
+            continue
+        from ..kernel.term import mk_pis
+
+        return mk_pis(stripped, body)
+
+
+def _apply_with(
+    env: Environment,
+    goal: Goal,
+    fn_term: Term,
+    binders: Sequence[Tuple[str, Term]],
+    assign: Dict[int, Term],
+):
+    n = len(binders)
+    values: List[Optional[Term]] = []
+    subgoal_positions: List[int] = []
+    subgoals: List[Goal] = []
+    for k, (name, dom) in enumerate(binders):
+        # Pattern variable index for binder k is n - 1 - k.
+        var = n - 1 - k
+        if var in assign:
+            values.append(assign[var])
+            continue
+        # This argument becomes a subgoal; its type must be fully
+        # determined by the already-known arguments.  Substitute the known
+        # values innermost-first (each substitution renumbers, so the
+        # next binder is always at index 0).
+        ty = dom
+        for j in reversed(range(k)):
+            value = values[j]
+            if value is None:
+                if occurs_rel(ty, 0):
+                    raise TacticError(
+                        f"apply: cannot infer argument {binders[j][0]!r}"
+                    )
+                # Substitute a placeholder; it cannot occur, so this only
+                # renumbers the remaining indices.
+                ty = subst(ty, Rel(0), 0)
+            else:
+                # ``value`` lives in the goal context; j outer binders of
+                # the telescope are still pending below it.
+                ty = subst(ty, lift(value, j), 0)
+        subgoal_positions.append(k)
+        subgoals.append(Goal(goal.ctx, ty))
+        values.append(None)
+
+    def builder(subproofs: Sequence[Term]) -> Term:
+        final = list(values)
+        for position, proof in zip(subgoal_positions, subproofs):
+            final[position] = proof
+        if any(v is None for v in final):
+            raise TacticError("apply: missing argument at build time")
+        return mk_app(fn_term, final)
+
+    return subgoals, builder
+
+
+# ---------------------------------------------------------------------------
+# Structural tactics
+# ---------------------------------------------------------------------------
+
+
+def split():
+    """Split a conjunction goal into its two halves."""
+
+    def tactic(env: Environment, goal: Goal):
+        target = whnf(env, goal.target)
+        head, args = unfold_app(target)
+        if not (isinstance(head, Ind) and head.name == "and" and len(args) == 2):
+            raise TacticError("split: goal is not a conjunction")
+        left_ty, right_ty = args
+        subgoals = [Goal(goal.ctx, left_ty), Goal(goal.ctx, right_ty)]
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            return Constr("and", 0).app(
+                left_ty, right_ty, subproofs[0], subproofs[1]
+            )
+
+        return subgoals, builder
+
+    return tactic
+
+
+def left():
+    """Prove the left disjunct."""
+    return _disjunct(0)
+
+
+def right():
+    """Prove the right disjunct."""
+    return _disjunct(1)
+
+
+def _disjunct(index: int):
+    def tactic(env: Environment, goal: Goal):
+        target = whnf(env, goal.target)
+        head, args = unfold_app(target)
+        if not (isinstance(head, Ind) and head.name == "or" and len(args) == 2):
+            raise TacticError("left/right: goal is not a disjunction")
+        left_ty, right_ty = args
+        subgoals = [Goal(goal.ctx, args[index])]
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            return Constr("or", index).app(left_ty, right_ty, subproofs[0])
+
+        return subgoals, builder
+
+    return tactic
+
+
+def exists_(witness: TermLike):
+    """Provide the witness of a sigma goal."""
+
+    def tactic(env: Environment, goal: Goal):
+        target = whnf(env, goal.target)
+        head, args = unfold_app(target)
+        if not (
+            isinstance(head, Ind) and head.name == "sigT" and len(args) == 2
+        ):
+            raise TacticError("exists: goal is not a sigma type")
+        carrier, predicate = args
+        resolved = _resolve(env, goal, witness)
+        check(env, goal.ctx, resolved, carrier)
+        from ..kernel.reduce import beta_reduce
+
+        subgoals = [Goal(goal.ctx, beta_reduce(App(predicate, resolved)))]
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            return Constr("sigT", 0).app(
+                carrier, predicate, resolved, subproofs[0]
+            )
+
+        return subgoals, builder
+
+    return tactic
+
+
+# ---------------------------------------------------------------------------
+# Induction
+# ---------------------------------------------------------------------------
+
+
+def induction(hyp: Union[int, str], names: Optional[Sequence[Sequence[str]]] = None):
+    """Induct on a hypothesis (a variable of inductive type).
+
+    ``names`` optionally gives, per constructor, the names for the case's
+    arguments and induction hypotheses (Coq's ``as [a l IHl|]`` pattern).
+    Case binders are introduced automatically, as Coq does.
+
+    For an indexed family (``vector``, ``eq``, ...), the indices of the
+    hypothesis must be distinct variables; they are generalized into the
+    motive along with the hypothesis, as Coq's ``induction`` does.
+    """
+
+    def tactic(env: Environment, goal: Goal):
+        index = _hyp_index(goal, hyp)
+        var = Rel(index)
+        var_ty = whnf(env, goal.ctx.type_of(index))
+        head, args = unfold_app(var_ty)
+        if not isinstance(head, Ind):
+            raise TacticError("induction: hypothesis is not inductive")
+        decl = env.inductive(head.name)
+        params = args[: decl.n_params]
+        index_terms = args[decl.n_params :]
+
+        if decl.n_indices:
+            return _indexed_induction(
+                env, goal, decl, var, params, index_terms, names
+            )
+
+        motive_body = abstract_term(goal.target, var)
+        motive = Lam("x", var_ty, motive_body)
+
+        from ..kernel.inductive import analyze_recursive_args
+        from ..kernel.reduce import beta_reduce
+
+        subgoals: List[Goal] = []
+        case_binders: List[Tuple[Tuple[str, Term], ...]] = []
+        for j in range(decl.n_constructors):
+            ct = beta_reduce(case_type(decl, j, params, motive))
+            # Strip exactly the constructor's binders (args + IHs); the
+            # conclusion itself may be a product (e.g. a goal generalized
+            # over later arguments) and must stay intact.
+            rec_infos = analyze_recursive_args(decl, j)
+            n_case_binders = len(decl.constructors[j].args) + sum(
+                1 for info in rec_infos if info is not None
+            )
+            binders_all: List[Tuple[str, Term]] = []
+            conclusion = ct
+            for _ in range(n_case_binders):
+                if not isinstance(conclusion, Pi):
+                    raise TacticError("induction: malformed case type")
+                binders_all.append((conclusion.name, conclusion.domain))
+                conclusion = conclusion.codomain
+            binders = tuple(binders_all)
+            if names is not None and j < len(names) and names[j]:
+                given = list(names[j])
+                renamed = []
+                ctx = goal.ctx
+                for bi, (bname, bty) in enumerate(binders):
+                    hint = given[bi] if bi < len(given) else bname
+                    renamed.append((ctx.fresh_name(hint), bty))
+                    ctx = ctx.push(renamed[-1][0], bty)
+                binders = tuple(renamed)
+            else:
+                ctx = goal.ctx
+                renamed = []
+                for bname, bty in binders:
+                    fresh = ctx.fresh_name(bname if bname != "_" else "a")
+                    renamed.append((fresh, bty))
+                    ctx = ctx.push(fresh, bty)
+                binders = tuple(renamed)
+            sub_ctx = goal.ctx
+            for bname, bty in binders:
+                sub_ctx = sub_ctx.push(bname, bty)
+            subgoals.append(Goal(sub_ctx, conclusion))
+            case_binders.append(tuple(binders))
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            cases = tuple(
+                mk_lams(case_binders[j], subproofs[j])
+                for j in range(decl.n_constructors)
+            )
+            return Elim(decl.name, motive, cases, var)
+
+        return subgoals, builder
+
+    return tactic
+
+
+def _indexed_induction(
+    env: Environment,
+    goal: Goal,
+    decl,
+    var: Rel,
+    params: Sequence[Term],
+    index_terms: Sequence[Term],
+    names: Optional[Sequence[Sequence[str]]],
+):
+    """Induction over an indexed family, generalizing the index variables."""
+    from ..kernel.inductive import instantiate_telescope
+    from ..kernel.term import free_rels
+
+    k = len(index_terms)
+    if not all(isinstance(t, Rel) for t in index_terms):
+        raise TacticError(
+            "induction: the indices of the hypothesis must be variables"
+        )
+    targets = [t.index for t in index_terms] + [var.index]
+    if len(set(targets)) != len(targets):
+        raise TacticError("induction: index variables must be distinct")
+    for p in params:
+        if any(r in free_rels(p) for r in targets):
+            raise TacticError(
+                "induction: parameters must not depend on the indices"
+            )
+
+    # Motive binder types: the instantiated index telescope, then the
+    # family applied to the fresh index binders.
+    index_tele = instantiate_telescope(
+        tuple(decl.params) + tuple(decl.indices), list(params)
+    )
+    binders: List[Tuple[str, Term]] = list(index_tele)
+    scrut_ty = mk_app(
+        Ind(decl.name),
+        tuple(lift(p, k) for p in params)
+        + tuple(Rel(k - 1 - j) for j in range(k)),
+    )
+    binders.append(("x", scrut_ty))
+
+    # Motive body: the goal with the index variables and the hypothesis
+    # replaced by the fresh binders (i_j -> Rel(k - j), x -> Rel(0)).
+    total = k + 1
+    replacement = {
+        old + total: total - 1 - position
+        for position, old in enumerate(targets)
+    }
+
+    def remap(term: Term, cutoff: int) -> Term:
+        if isinstance(term, Rel):
+            shifted = term.index - cutoff
+            if shifted >= 0 and (shifted in replacement):
+                return Rel(replacement[shifted] + cutoff)
+            return term
+        if isinstance(term, (Sort, Const, Ind, Constr)):
+            return term
+        if isinstance(term, App):
+            return App(remap(term.fn, cutoff), remap(term.arg, cutoff))
+        if isinstance(term, Lam):
+            return Lam(
+                term.name, remap(term.domain, cutoff), remap(term.body, cutoff + 1)
+            )
+        if isinstance(term, Pi):
+            return Pi(
+                term.name,
+                remap(term.domain, cutoff),
+                remap(term.codomain, cutoff + 1),
+            )
+        if isinstance(term, Elim):
+            return Elim(
+                term.ind,
+                remap(term.motive, cutoff),
+                tuple(remap(c, cutoff) for c in term.cases),
+                remap(term.scrut, cutoff),
+            )
+        raise TacticError(f"induction: cannot remap {term!r}")
+
+    motive_body = remap(lift(goal.target, total), 0)
+    motive = mk_lams(binders, motive_body)
+
+    from ..kernel.inductive import analyze_recursive_args
+    from ..kernel.reduce import beta_reduce
+
+    subgoals: List[Goal] = []
+    case_binders: List[Tuple[Tuple[str, Term], ...]] = []
+    for j in range(decl.n_constructors):
+        ct = beta_reduce(case_type(decl, j, params, motive))
+        rec_infos = analyze_recursive_args(decl, j)
+        n_case_binders = len(decl.constructors[j].args) + sum(
+            1 for info in rec_infos if info is not None
+        )
+        collected: List[Tuple[str, Term]] = []
+        conclusion = ct
+        ctx = goal.ctx
+        given = list(names[j]) if names is not None and j < len(names) else []
+        for bi in range(n_case_binders):
+            if not isinstance(conclusion, Pi):
+                raise TacticError("induction: malformed case type")
+            hint = (
+                given[bi]
+                if bi < len(given)
+                else (conclusion.name if conclusion.name != "_" else "a")
+            )
+            fresh = ctx.fresh_name(hint)
+            collected.append((fresh, conclusion.domain))
+            ctx = ctx.push(fresh, conclusion.domain)
+            conclusion = conclusion.codomain
+        subgoals.append(Goal(ctx, conclusion))
+        case_binders.append(tuple(collected))
+
+    def builder(subproofs: Sequence[Term]) -> Term:
+        cases = tuple(
+            mk_lams(case_binders[j], subproofs[j])
+            for j in range(decl.n_constructors)
+        )
+        return Elim(decl.name, motive, cases, var)
+
+    return subgoals, builder
+
+
+def discriminate(hyp: Union[int, str]):
+    """Close any goal from an equation between distinct constructors.
+
+    Given ``h : C1 ... = C2 ...`` with ``C1 != C2`` of the same inductive
+    type, builds the standard large-elimination refutation: transport an
+    inhabitant of a motive that is inhabited at ``C1`` and ``empty`` at
+    every other constructor, then eliminate the resulting ``empty``.
+    """
+
+    def tactic(env: Environment, goal: Goal):
+        index = _hyp_index(goal, hyp)
+        h = Rel(index)
+        h_ty = whnf(env, infer(env, goal.ctx, h))
+        head, args = unfold_app(h_ty)
+        if not (isinstance(head, Ind) and head.name == "eq" and len(args) == 3):
+            raise TacticError("discriminate: hypothesis is not an equality")
+        carrier, lhs, rhs = args
+        lhs_w = whnf(env, lhs)
+        rhs_w = whnf(env, rhs)
+        lhead, _ = unfold_app(lhs_w)
+        rhead, _ = unfold_app(rhs_w)
+        if not (
+            isinstance(lhead, Constr)
+            and isinstance(rhead, Constr)
+            and lhead.ind == rhead.ind
+            and lhead.index != rhead.index
+        ):
+            raise TacticError(
+                "discriminate: sides do not start with distinct constructors"
+            )
+        decl = env.inductive(lhead.ind)
+        if decl.n_indices:
+            raise TacticError("discriminate: indexed families unsupported")
+        carrier_w = whnf(env, carrier)
+        _chead, cargs = unfold_app(carrier_w)
+        params = cargs
+
+        # P : carrier -> Prop, inhabited at lhead, empty elsewhere.
+        inhabited = Ind("eq").app(Ind("nat"), Constr("nat", 0), Constr("nat", 0))
+        from ..kernel.inductive import analyze_recursive_args
+        from ..kernel.reduce import beta_reduce
+
+        motive = Lam("k", carrier_w, Sort(-1))
+        cases = []
+        for j in range(decl.n_constructors):
+            ct = beta_reduce(case_type(decl, j, params, motive))
+            rec_infos = analyze_recursive_args(decl, j)
+            n_binders = len(decl.constructors[j].args) + sum(
+                1 for info in rec_infos if info is not None
+            )
+            binders = []
+            body_ty = ct
+            for _ in range(n_binders):
+                binders.append((body_ty.name, body_ty.domain))
+                body_ty = body_ty.codomain
+            value = inhabited if j == lhead.index else Ind("empty")
+            cases.append(mk_lams(binders, lift(value, n_binders)))
+        predicate = Lam(
+            "k", carrier_w, Elim(lhead.ind, lift(motive, 1), tuple(cases), Rel(0))
+        )
+
+        # eq_ind carrier lhs predicate (eq_refl nat O) rhs h : predicate rhs
+        witness = Constr("eq", 0).app(Ind("nat"), Constr("nat", 0))
+        transported = Const("eq_ind").app(
+            carrier, lhs, predicate, witness, rhs, h
+        )
+        proof = Elim(
+            "empty", Lam("_", Ind("empty"), lift(goal.target, 1)), (), transported
+        )
+        check(env, goal.ctx, proof, goal.target)
+
+        def builder(_subproofs: Sequence[Term]) -> Term:
+            return proof
+
+        return [], builder
+
+    return tactic
+
+
+def destruct(target: TermLike, names: Optional[Sequence[Sequence[str]]] = None):
+    """Case analysis on an arbitrary term of non-indexed inductive type.
+
+    The motive abstracts the occurrences of the term in the goal (up to
+    conversion), so ``destruct (eqb x y)`` works on goals whose redexes
+    were exposed by ``simpl``.
+    """
+
+    def tactic(env: Environment, goal: Goal):
+        resolved = _resolve(env, goal, target)
+        ty = whnf(env, infer(env, goal.ctx, resolved))
+        head, args = unfold_app(ty)
+        if not isinstance(head, Ind):
+            raise TacticError("destruct: the term is not of inductive type")
+        decl = env.inductive(head.name)
+        if decl.n_indices:
+            raise TacticError("destruct: indexed families are unsupported")
+        params = args
+
+        motive_body = _abstract_conv(env, goal.target, resolved)
+        motive = Lam("x", ty, motive_body)
+
+        from ..kernel.inductive import analyze_recursive_args
+        from ..kernel.reduce import beta_reduce
+
+        subgoals: List[Goal] = []
+        case_binders: List[Tuple[Tuple[str, Term], ...]] = []
+        for j in range(decl.n_constructors):
+            ct = beta_reduce(case_type(decl, j, params, motive))
+            rec_infos = analyze_recursive_args(decl, j)
+            n_case_binders = len(decl.constructors[j].args) + sum(
+                1 for info in rec_infos if info is not None
+            )
+            collected: List[Tuple[str, Term]] = []
+            conclusion = ct
+            ctx = goal.ctx
+            given = list(names[j]) if names is not None and j < len(names) else []
+            for bi in range(n_case_binders):
+                if not isinstance(conclusion, Pi):
+                    raise TacticError("destruct: malformed case type")
+                hint = (
+                    given[bi]
+                    if bi < len(given)
+                    else (conclusion.name if conclusion.name != "_" else "a")
+                )
+                fresh = ctx.fresh_name(hint)
+                collected.append((fresh, conclusion.domain))
+                ctx = ctx.push(fresh, conclusion.domain)
+                conclusion = conclusion.codomain
+            subgoals.append(Goal(ctx, conclusion))
+            case_binders.append(tuple(collected))
+
+        def builder(subproofs: Sequence[Term]) -> Term:
+            cases = tuple(
+                mk_lams(case_binders[j], subproofs[j])
+                for j in range(decl.n_constructors)
+            )
+            return Elim(decl.name, motive, cases, resolved)
+
+        return subgoals, builder
+
+    return tactic
+
+
+def elim_using(eliminator: TermLike, hyp: Union[int, str]):
+    """Induct on ``hyp`` with a custom eliminator (Coq's ``induction ..
+    using ..``).
+
+    The motive is inferred by abstracting the goal over the hypothesis;
+    the eliminator's remaining premises become subgoals in order.  Used
+    with ``N.peano_rect`` in the binary-numbers case study (Section 6.3).
+    """
+
+    def tactic(env: Environment, goal: Goal):
+        index = _hyp_index(goal, hyp)
+        var = Rel(index)
+        var_ty = whnf(env, goal.ctx.type_of(index))
+        motive = Lam("x", var_ty, abstract_term(goal.target, var))
+        resolved = _resolve(env, goal, eliminator)
+        return apply(App(resolved, motive))(env, goal)
+
+    return tactic
+
+
+# ---------------------------------------------------------------------------
+# Automation
+# ---------------------------------------------------------------------------
+
+
+def try_(tactic):
+    """Apply ``tactic``; on failure leave the goal unchanged."""
+
+    def wrapped(env: Environment, goal: Goal):
+        try:
+            return tactic(env, goal)
+        except TacticError:
+            def builder(subproofs: Sequence[Term]) -> Term:
+                return subproofs[0]
+
+            return [goal], builder
+
+    return wrapped
+
+
+def first(*tactics):
+    """Apply the first tactic that succeeds."""
+
+    def wrapped(env: Environment, goal: Goal):
+        errors = []
+        for tactic in tactics:
+            try:
+                return tactic(env, goal)
+            except TacticError as exc:
+                errors.append(str(exc))
+        raise TacticError("first: all alternatives failed: " + "; ".join(errors))
+
+    return wrapped
+
+
+def auto(depth: int = 3):
+    """Close simple goals by depth-bounded backward search.
+
+    Tries ``assumption`` and ``reflexivity``, then backchains through the
+    hypotheses (applying each and recursively solving the premises), like
+    a small Coq ``auto``.
+    """
+
+    def tactic(env: Environment, goal: Goal):
+        proof = _auto_solve(env, goal, depth)
+
+        def builder(_subproofs: Sequence[Term]) -> Term:
+            return proof
+
+        return [], builder
+
+    return tactic
+
+
+def _auto_solve(env: Environment, goal: Goal, depth: int) -> Term:
+    for leaf in (assumption(), reflexivity()):
+        try:
+            _subgoals, builder = leaf(env, goal)
+            return builder([])
+        except TacticError:
+            pass
+    if depth <= 0:
+        raise TacticError("auto: search depth exhausted")
+    for i in range(len(goal.ctx)):
+        try:
+            subgoals, builder = apply(Rel(i))(env, goal)
+        except TacticError:
+            continue
+        try:
+            subproofs = [
+                _auto_solve(env, subgoal, depth - 1) for subgoal in subgoals
+            ]
+        except TacticError:
+            continue
+        return builder(subproofs)
+    raise TacticError("auto: no applicable rule")
+
+
+def trivial():
+    """Alias for :func:`auto` (matches the paper's scripts)."""
+    return auto()
+
+
+def constructor():
+    """Apply the first constructor whose conclusion matches the goal."""
+
+    def tactic(env: Environment, goal: Goal):
+        target = whnf(env, goal.target)
+        head, _args = unfold_app(target)
+        if not isinstance(head, Ind):
+            raise TacticError("constructor: goal is not inductive")
+        decl = env.inductive(head.name)
+        candidates = [
+            apply(Constr(decl.name, j)) for j in range(decl.n_constructors)
+        ]
+        return first(*candidates)(env, goal)
+
+    return tactic

@@ -1,0 +1,77 @@
+"""Shared fixtures: environments and case-study scenarios.
+
+Scenario fixtures are session scoped — each case study runs once and its
+artifacts are inspected by many tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stdlib import make_env
+
+
+@pytest.fixture(scope="session")
+def env_basic():
+    """Prelude + nat only."""
+    return make_env(lists=False, vectors=False)
+
+
+@pytest.fixture(scope="session")
+def env_lists():
+    """Prelude + nat + list (with lemmas) + vector."""
+    return make_env(lists=True, vectors=True)
+
+
+@pytest.fixture(scope="session")
+def env_binary():
+    """Prelude + nat + positive/N (with peano recursors and lemmas)."""
+    return make_env(lists=False, vectors=False, binary=True)
+
+
+@pytest.fixture(scope="session")
+def env_full():
+    """Everything, including bitvectors."""
+    return make_env(lists=True, vectors=True, binary=True, bitvectors=True)
+
+
+@pytest.fixture(scope="session")
+def quickstart_scenario():
+    from repro.cases.quickstart import run_scenario
+
+    return run_scenario()
+
+
+@pytest.fixture(scope="session")
+def replica_variants():
+    from repro.cases.replica import run_scenario
+
+    return run_scenario()
+
+
+@pytest.fixture(scope="session")
+def ornament_scenario():
+    from repro.cases.ornaments_example import run_scenario
+
+    return run_scenario()
+
+
+@pytest.fixture(scope="session")
+def binary_scenario():
+    from repro.cases.binary import run_scenario
+
+    return run_scenario()
+
+
+@pytest.fixture(scope="session")
+def galois_scenario():
+    from repro.cases.galois import run_scenario
+
+    return run_scenario()
+
+
+@pytest.fixture(scope="session")
+def refactor_scenario():
+    from repro.cases.constr_refactor import run_scenario
+
+    return run_scenario()

@@ -1,0 +1,74 @@
+"""Section 6.3 end to end: unary to binary numbers (nonorn.v)."""
+
+from repro.kernel import Const, Context, check, mentions_global, mk_app, nf, pretty
+from repro.syntax.parser import parse
+
+
+def binary(env, k):
+    return nf(env, parse(env, f"N.of_nat {k}"))
+
+
+class TestSlowAdd:
+    def test_repair_was_fully_automatic(self, binary_scenario):
+        # "We ported unary addition from nat to N fully automatically."
+        result = binary_scenario.slow_add
+        assert result.old_name == "add"
+        assert result.new_name == "slow_add"
+
+    def test_no_reference_to_nat(self, binary_scenario):
+        # "However, it no longer refers to nat in any way."
+        s = binary_scenario
+        assert not mentions_global(s.slow_add.term, "nat")
+        assert not mentions_global(s.slow_add.type, "nat")
+
+    def test_uses_peano_rect(self, binary_scenario):
+        assert mentions_global(binary_scenario.slow_add.term, "N.peano_rect")
+
+    def test_slow_add_computes_correctly(self, binary_scenario):
+        env = binary_scenario.env
+        for a, b in [(0, 0), (1, 5), (19, 23), (64, 64)]:
+            total = nf(
+                env, mk_app(Const("slow_add"), [binary(env, a), binary(env, b)])
+            )
+            assert total == binary(env, a + b)
+
+
+class TestIotaPorting:
+    def test_marked_proof_ports(self, binary_scenario):
+        s = binary_scenario
+        assert s.slow_add_n_Sm.new_name == "slow_add_n_Sm"
+        assert not mentions_global(s.slow_add_n_Sm.term, "nat")
+
+    def test_ported_proof_uses_iota_over_N(self, binary_scenario):
+        # The explicit iota marks became iota over N.
+        assert mentions_global(binary_scenario.slow_add_n_Sm.term, "iota_N_1")
+        assert not mentions_global(
+            binary_scenario.slow_add_n_Sm.term, "iota_nat_1"
+        )
+
+    def test_ported_statement(self, binary_scenario):
+        env = binary_scenario.env
+        rendered = pretty(binary_scenario.slow_add_n_Sm.type, env=env)
+        assert "N.succ (slow_add n m)" in rendered
+        assert "slow_add n (N.succ m)" in rendered
+
+    def test_iota_N_1_is_peano_rect_succ_rewrite(self, binary_scenario):
+        env = binary_scenario.env
+        decl = env.constant("iota_N_1")
+        assert mentions_global(decl.body, "N.peano_rect_succ")
+
+
+class TestFastAddition:
+    def test_add_fast_add(self, binary_scenario):
+        # Lemma add_fast_add: forall n m, slow_add n m = N.add n m.
+        env = binary_scenario.env
+        decl = env.constant("add_fast_add")
+        check(env, Context.empty(), decl.body, decl.type)
+
+    def test_theorem_transfers_to_fast_add(self, binary_scenario):
+        env = binary_scenario.env
+        decl = env.constant("N.add_n_Sm")
+        check(env, Context.empty(), decl.body, decl.type)
+        rendered = pretty(decl.type, env=env)
+        assert "N.add" in rendered
+        assert "slow_add" not in rendered

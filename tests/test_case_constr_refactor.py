@@ -1,0 +1,59 @@
+"""Section 3.1.1 end to end: factoring constructors out to bool."""
+
+from repro.kernel import Context, check, mentions_global, nf, pretty
+from repro.syntax.parser import parse
+
+
+class TestRefactor:
+    def test_all_five_repaired(self, refactor_scenario):
+        names = {r.new_name for r in refactor_scenario.results}
+        assert names == {"J.neg", "J.and", "J.or", "J.demorgan_1", "J.demorgan_2"}
+
+    def test_no_reference_to_I(self, refactor_scenario):
+        for result in refactor_scenario.results:
+            assert not mentions_global(result.term, "I")
+            assert not mentions_global(result.type, "I")
+
+    def test_and_matches_paper_output(self, refactor_scenario):
+        # and (j1 j2 : J) := J_rect _ (fun b => bool_rect _ j2 (makeJ false) b) j1
+        env = refactor_scenario.env
+        body = pretty(env.constant("J.and").body, env=env)
+        assert "Elim[J]" in body
+        assert "Elim[bool]" in body
+        assert "makeJ false" in body
+
+    def test_demorgan_over_J_checks(self, refactor_scenario):
+        env = refactor_scenario.env
+        for name in ["J.demorgan_1", "J.demorgan_2"]:
+            decl = env.constant(name)
+            check(env, Context.empty(), decl.body, decl.type)
+
+    def test_truth_table_preserved(self, refactor_scenario):
+        env = refactor_scenario.env
+        # A maps to true: and (makeJ true) x = x; and (makeJ false) x = makeJ false.
+        for x in ["makeJ true", "makeJ false"]:
+            out = nf(env, parse(env, f"J.and (makeJ true) ({x})"))
+            assert out == nf(env, parse(env, x))
+            out = nf(env, parse(env, f"J.and (makeJ false) ({x})"))
+            assert out == nf(env, parse(env, "makeJ false"))
+
+    def test_definitional_iota_of_factored_elim(self, refactor_scenario):
+        # dep_elim (makeJ true) reduces to the A case without rewrites.
+        env = refactor_scenario.env
+        out = nf(
+            env,
+            parse(
+                env,
+                "Elim[J](makeJ true; fun (_ : J) => nat)"
+                "{ fun (b : bool) => "
+                "Elim[bool](b; fun (_ : bool) => nat){ 1, 2 } }",
+            ),
+        )
+        assert out == nf(env, parse(env, "1"))
+
+    def test_equivalence_checks(self, refactor_scenario):
+        from repro.kernel import typecheck_closed
+
+        eqv = refactor_scenario.config.equivalence
+        typecheck_closed(refactor_scenario.env, eqv.section)
+        typecheck_closed(refactor_scenario.env, eqv.retraction)

@@ -1,0 +1,118 @@
+"""Section 6.2 end to end: lists to packed vectors to vectors at an index."""
+
+import pytest
+
+from repro.kernel import Const, Context, check, mentions_global, nf, pretty
+from repro.stdlib.natlib import int_of_nat
+from repro.syntax.parser import parse
+
+
+class TestDevoidStep:
+    def test_everything_ported_to_packed(self, ornament_scenario):
+        names = {r.old_name for r in ornament_scenario.packed_results}
+        assert {"zip", "zip_with", "zip_with_is_zip", "zip_preserves_length"} <= names
+
+    def test_ported_statements_mention_sigma(self, ornament_scenario):
+        env = ornament_scenario.env
+        ty = env.constant("Packed.zip_with_is_zip").type
+        assert mentions_global(ty, "sigT")
+        assert mentions_global(ty, "vector")
+        assert not mentions_global(ty, "list")
+
+    def test_packed_zip_computes(self, ornament_scenario):
+        env = ornament_scenario.env
+        out = nf(
+            env,
+            parse(
+                env,
+                """
+                Packed.zip nat bool
+                  (ornament.dep_constr_1 nat 1 (ornament.dep_constr_0 nat))
+                  (ornament.dep_constr_1 bool true (ornament.dep_constr_0 bool))
+                """,
+            ),
+        )
+        rendered = pretty(out, env=env)
+        assert "existT" in rendered
+        assert "vcons" in rendered
+
+    def test_equivalence_proved(self, ornament_scenario):
+        from repro.kernel import typecheck_closed
+
+        eqv = ornament_scenario.config.equivalence
+        typecheck_closed(ornament_scenario.env, eqv.section)
+        typecheck_closed(ornament_scenario.env, eqv.retraction)
+
+    def test_promote_forget_roundtrip(self, ornament_scenario):
+        env = ornament_scenario.env
+        out = nf(
+            env,
+            parse(
+                env,
+                "ornament.forget nat (ornament.promote nat "
+                "(cons nat 1 (cons nat 2 (nil nat))))",
+            ),
+        )
+        assert out == nf(env, parse(env, "cons nat 1 (cons nat 2 (nil nat))"))
+
+
+class TestUnpackStep:
+    def test_final_lemma_statement(self, ornament_scenario):
+        # The Section 6.2.2 goal: vectors at a *particular* length.
+        env = ornament_scenario.env
+        ty = env.constant("zip_with_is_zip_vect").type
+        rendered = pretty(ty, env=env)
+        assert "vector A n" in rendered
+        assert "vector B n" in rendered
+        assert not mentions_global(ty, "sigT")
+
+    def test_final_lemma_checks(self, ornament_scenario):
+        env = ornament_scenario.env
+        decl = env.constant("zip_with_is_zip_vect")
+        check(env, Context.empty(), decl.body, decl.type)
+
+    def test_zipv_computes_at_fixed_length(self, ornament_scenario):
+        env = ornament_scenario.env
+        out = nf(
+            env,
+            parse(
+                env,
+                """
+                zipv nat bool 2
+                  (vcons nat 4 1 (vcons nat 7 0 (vnil nat)))
+                  (vcons bool true 1 (vcons bool false 0 (vnil bool)))
+                """,
+            ),
+        )
+        rendered = pretty(out, env=env)
+        assert rendered.count("vcons") == 2
+
+    def test_zipv_with_agrees_with_zipv(self, ornament_scenario):
+        env = ornament_scenario.env
+        a = nf(
+            env,
+            parse(
+                env,
+                "zipv_with nat bool 1 (vcons nat 3 0 (vnil nat)) "
+                "(vcons bool false 0 (vnil bool))",
+            ),
+        )
+        b = nf(
+            env,
+            parse(
+                env,
+                "zipv nat bool 1 (vcons nat 3 0 (vnil nat)) "
+                "(vcons bool false 0 (vnil bool))",
+            ),
+        )
+        assert a == b
+
+    def test_unpack_coherence_present(self, ornament_scenario):
+        env = ornament_scenario.env
+        decl = env.constant("unpack_coherence")
+        check(env, Context.empty(), decl.body, decl.type)
+
+    def test_length_invariant_ported(self, ornament_scenario):
+        env = ornament_scenario.env
+        assert env.has_constant("Packed.zip_preserves_length")
+        assert env.has_constant("length_pi")

@@ -1,0 +1,83 @@
+"""Section 6.1 end to end: the REPLICA benchmark and its variants."""
+
+from repro.kernel import Context, check, mentions_global, nf, pretty
+from repro.stdlib.natlib import int_of_nat
+from repro.syntax.parser import parse
+
+
+class TestVariants:
+    def test_all_five_variants_succeed(self, replica_variants):
+        assert len(replica_variants) == 5
+        for variant in replica_variants:
+            assert len(variant.results) == 2
+
+    def test_theorem_repaired_in_every_variant(self, replica_variants):
+        for variant in replica_variants:
+            theorem = next(
+                r for r in variant.results
+                if r.old_name == "eval_eq_true_or_false"
+            )
+            assert not mentions_global(theorem.type, "Old.Term")
+            assert mentions_global(theorem.type, variant.new_type)
+
+    def test_figure_16_swap_mapping(self, replica_variants):
+        fig16 = replica_variants[0]
+        # Int and Eq (positions 1 and 2) swap; everything else fixed.
+        assert fig16.mapping == (0, 2, 1, 3, 4, 5, 6)
+
+    def test_rename_all_keeps_positions(self, replica_variants):
+        renamed = replica_variants[2]
+        assert renamed.mapping == tuple(range(7))
+
+    def test_permute_and_rename(self, replica_variants):
+        combined = replica_variants[4]
+        assert combined.mapping == (0, 2, 1, 5, 4, 3, 6)
+
+
+class TestSemanticsPreserved:
+    def test_eval_behaviour(self):
+        # Rebuild a small scenario to exercise computation.
+        from repro.cases.replica import (
+            declare_term_language,
+            run_variant,
+            setup_environment,
+        )
+
+        env = setup_environment()
+        variant = run_variant(
+            env,
+            "fig16",
+            ["Var", "Eq", "Int", "Plus", "Times", "Minus", "Choose"],
+            {},
+            9,
+        )
+        logic = "MkLogic 1 0"
+        environment = "(fun (i : Identifier) => O)"
+        out = nf(
+            env,
+            parse(
+                env,
+                f"New9.eval ({logic}) {environment} "
+                f"(New9.Term.Eq (New9.Term.Int 2) (New9.Term.Int 2))",
+            ),
+        )
+        assert int_of_nat(out) == 1  # vTrue
+        out = nf(
+            env,
+            parse(
+                env,
+                f"New9.eval ({logic}) {environment} "
+                f"(New9.Term.Plus (New9.Term.Int 2) (New9.Term.Int 3))",
+            ),
+        )
+        assert int_of_nat(out) == 5
+
+
+class TestProofsCheck:
+    def test_every_repaired_constant_is_recorded(self, replica_variants):
+        # RepairSession kernel-checks every result before defining it;
+        # here we confirm the artifacts are present and named as expected.
+        for variant in replica_variants:
+            for result in variant.results:
+                assert result.term is not None
+                assert result.new_name.endswith(result.old_name)

@@ -1,0 +1,93 @@
+"""The command front end (the plugin's vernacular surface)."""
+
+import pytest
+
+from repro.commands import CommandError, CommandSession
+from repro.stdlib import declare_list_type, make_env
+
+
+@pytest.fixture()
+def session():
+    env = make_env(lists=True, vectors=False)
+    declare_list_type(env, "New.list", swapped=True)
+    return CommandSession(env)
+
+
+class TestRepairCommand:
+    def test_repair_in(self, session):
+        result = session.execute("Repair list New.list in rev_app_distr.")
+        assert result.results[0].old_name == "rev_app_distr"
+        assert session.env.has_constant("rev_app_distr'")
+
+    def test_repair_as(self, session):
+        result = session.execute(
+            "Repair list New.list in app as New.app."
+        )
+        assert result.results[0].new_name == "New.app"
+
+    def test_repair_reuses_configuration(self, session):
+        session.execute("Configure list New.list")
+        config_before = session._configs[("list", "New.list")]
+        session.execute("Repair list New.list in app as A1")
+        assert session._configs[("list", "New.list")] is config_before
+
+    def test_usage_error(self, session):
+        with pytest.raises(CommandError):
+            session.execute("Repair list New.list rev_app_distr")
+
+
+class TestModuleAndLifecycle:
+    def test_repair_module_with_prefix(self, session):
+        result = session.execute("Repair module list New.list prefix New")
+        assert len(result.results) >= 10
+        assert session.env.has_constant("New.rev_app_distr")
+
+    def test_remove(self, session):
+        session.execute("Repair module list New.list prefix New")
+        session.execute("Remove list")
+        assert not session.env.has_inductive("list")
+        assert not session.env.has_constant("list_rect")
+
+    def test_batch_script(self, session):
+        results = session.run(
+            """
+            (* the Section 2 workflow as a script *)
+            Configure list New.list
+            Repair list New.list in rev_app_distr as New.rev_app_distr
+            Decompile New.rev_app_distr
+            """
+        )
+        assert len(results) == 3
+        assert "induction" in results[-1].text
+
+
+class TestDecompileReplay:
+    def test_decompile_command(self, session):
+        session.execute("Repair list New.list in rev_app_distr as R")
+        result = session.execute("Decompile R")
+        assert result.text.startswith("(* R *)")
+        assert "Qed." in result.text
+
+    def test_replay_command(self, session):
+        session.execute("Repair list New.list in rev_app_distr as R")
+        result = session.execute("Replay R")
+        assert "replays and checks" in result.summary
+
+    def test_decompile_unknown(self, session):
+        with pytest.raises(Exception):
+            session.execute("Decompile missing_constant")
+
+
+class TestConfigure:
+    def test_configure_with_mapping(self, session):
+        result = session.execute("Configure list New.list mapping 1 0")
+        assert tuple(result.config.b.perm) == (1, 0)
+
+    def test_unknown_command(self, session):
+        with pytest.raises(CommandError):
+            session.execute("Frobnicate list")
+
+    def test_history_accumulates(self, session):
+        session.execute("Configure list New.list")
+        session.execute("Repair list New.list in app as A2")
+        assert len(session.history) == 2

@@ -1,0 +1,205 @@
+"""The decompiler: Figure 14 rules, second pass, printing, replay."""
+
+import pytest
+
+from repro.decompile.decompiler import (
+    decompile_to_script,
+    print_script,
+)
+from repro.decompile.qtac import (
+    Script,
+    TApply,
+    TExact,
+    TIntro,
+    TIntros,
+    TInduction,
+    TLeft,
+    TReflexivity,
+    TRewrite,
+    TRight,
+    TSimpl,
+    TSplit,
+    TSymmetry,
+    decompile,
+)
+from repro.decompile.run import ScriptError, run_script
+from repro.syntax.parser import parse
+from repro.tactics import prove
+from repro.tactics.tactics import (
+    induction,
+    intro,
+    intros,
+    left,
+    reflexivity,
+    rewrite,
+    right,
+    simpl,
+    split,
+    symmetry,
+)
+
+
+def steps(env, proof_term):
+    return decompile(env, proof_term).steps
+
+
+class TestMiniDecompilerRules:
+    def test_intro_rule(self, env_basic):
+        term = parse(env_basic, "fun (n : nat) => eq_refl nat n")
+        out = steps(env_basic, term)
+        assert isinstance(out[0], TIntro)
+        assert isinstance(out[-1], TReflexivity)
+
+    def test_symmetry_of_eq_sym_application(self, env_basic):
+        term = parse(
+            env_basic,
+            "fun (x y : nat) (H : eq nat x y) => eq_sym nat x y H",
+        )
+        out = steps(env_basic, term)
+        kinds = [type(t).__name__ for t in out]
+        assert "TSymmetry" in kinds
+
+    def test_split_rule(self, env_basic):
+        term = parse(
+            env_basic,
+            "conj (eq nat O O) (eq nat 1 1) (eq_refl nat O) (eq_refl nat 1)",
+        )
+        out = steps(env_basic, term)
+        assert isinstance(out[0], TSplit)
+
+    def test_left_right_rules(self, env_basic):
+        term = parse(
+            env_basic,
+            "or_introl (eq nat O O) (eq nat O 1) (eq_refl nat O)",
+        )
+        out = steps(env_basic, term)
+        assert isinstance(out[0], TLeft)
+        term = parse(
+            env_basic,
+            "or_intror (eq nat O 1) (eq nat O O) (eq_refl nat O)",
+        )
+        out = steps(env_basic, term)
+        assert isinstance(out[0], TRight)
+
+    def test_rewrite_rule_from_tactic_proof(self, env_basic):
+        stmt = parse(
+            env_basic,
+            "forall (x y : nat), eq nat x y -> eq nat (S x) (S y)",
+        )
+        term = prove(env_basic, stmt, intros(), rewrite("H"), reflexivity())
+        out = steps(env_basic, term)
+        rewrites = [t for t in out if isinstance(t, TRewrite)]
+        assert len(rewrites) == 1
+        assert not rewrites[0].rev
+
+    def test_induction_rule(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat (add n O) n")
+        term = prove(
+            env_basic, stmt,
+            intro("n"), induction("n", names=[[], ["p", "IHp"]]),
+            reflexivity(), simpl(), rewrite("IHp"), reflexivity(),
+        )
+        out = steps(env_basic, term)
+        inductions = [t for t in out if isinstance(t, TInduction)]
+        assert len(inductions) == 1
+        assert inductions[0].scrut == "n"
+        assert len(inductions[0].cases) == 2
+
+    def test_base_rule_falls_back_to_exact(self, env_basic):
+        term = parse(env_basic, "fun (n : nat) => n")
+        out = steps(env_basic, term)
+        assert isinstance(out[-1], TExact)
+
+
+class TestSecondPass:
+    def test_intro_runs_merge(self, env_basic):
+        term = parse(
+            env_basic,
+            "fun (a b c : nat) => eq_refl nat a",
+        )
+        script = decompile_to_script(env_basic, term)
+        assert isinstance(script.steps[0], TIntros)
+        assert script.steps[0].names == ("a", "b", "c")
+
+    def test_simpl_dropped_before_reflexivity(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat (add n O) n")
+        term = prove(
+            env_basic, stmt,
+            intro("n"), induction("n", names=[[], ["p", "IHp"]]),
+            reflexivity(), simpl(), rewrite("IHp"), reflexivity(),
+        )
+        script = decompile_to_script(env_basic, term)
+        induction_tac = next(
+            t for t in script.steps if isinstance(t, TInduction)
+        )
+        # In the successor case, simpl survives before the rewrite but is
+        # not duplicated.
+        succ_case = induction_tac.cases[1]
+        simpls = [t for t in succ_case.steps if isinstance(t, TSimpl)]
+        assert len(simpls) <= 1
+
+
+class TestPrinting:
+    def test_bullets_per_case(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat (add n O) n")
+        term = prove(
+            env_basic, stmt,
+            intro("n"), induction("n", names=[[], ["p", "IHp"]]),
+            reflexivity(), simpl(), rewrite("IHp"), reflexivity(),
+        )
+        text = print_script(decompile_to_script(env_basic, term))
+        assert text.startswith("Proof.")
+        assert text.rstrip().endswith("Qed.")
+        assert "induction n as [|p IHp]." in text
+        assert "- " in text
+
+    def test_as_pattern_formatting(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat (add n O) n")
+        term = prove(
+            env_basic, stmt,
+            intro("n"), induction("n", names=[[], ["p", "IHp"]]),
+            reflexivity(), simpl(), rewrite("IHp"), reflexivity(),
+        )
+        script = decompile_to_script(env_basic, term)
+        text = print_script(script, name="add_n_O")
+        assert "(* add_n_O *)" in text
+
+
+class TestReplay:
+    def test_decompiled_script_replays(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat (add n O) n")
+        term = prove(
+            env_basic, stmt,
+            intro("n"), induction("n", names=[[], ["p", "IHp"]]),
+            reflexivity(), simpl(), rewrite("IHp"), reflexivity(),
+        )
+        script = decompile_to_script(env_basic, term)
+        replayed = run_script(env_basic, stmt, script)
+        from repro.kernel import Context, check
+
+        check(env_basic, Context.empty(), replayed, stmt)
+
+    def test_replay_fails_on_wrong_statement(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat (add n O) n")
+        wrong = parse(env_basic, "forall (n : nat), eq nat (add n 1) n")
+        term = prove(
+            env_basic, stmt,
+            intro("n"), induction("n", names=[[], ["p", "IHp"]]),
+            reflexivity(), simpl(), rewrite("IHp"), reflexivity(),
+        )
+        script = decompile_to_script(env_basic, term)
+        with pytest.raises(ScriptError):
+            run_script(env_basic, wrong, script)
+
+    def test_split_replay(self, env_basic):
+        stmt = parse(env_basic, "and (eq nat O O) (eq nat 1 1)")
+        term = prove(env_basic, stmt, split(), reflexivity(), reflexivity())
+        script = decompile_to_script(env_basic, term)
+        run_script(env_basic, stmt, script)
+
+    def test_disjunction_replay(self, env_basic):
+        stmt = parse(env_basic, "or (eq nat O 1) (eq nat O O)")
+        term = prove(env_basic, stmt, right(), reflexivity())
+        script = decompile_to_script(env_basic, term)
+        run_script(env_basic, stmt, script)
+

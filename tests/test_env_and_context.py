@@ -1,0 +1,118 @@
+"""Environments, contexts, and the populated-environment invariants."""
+
+import pytest
+
+from repro.kernel import (
+    ConstantDecl,
+    Context,
+    EnvError,
+    Environment,
+    Ind,
+    PROP,
+    Rel,
+    SET,
+    TermError,
+    lift,
+)
+from repro.stdlib import make_env
+from repro.stdlib.natlib import declare_nat
+from repro.stdlib.prelude import declare_prelude
+from repro.syntax.parser import parse
+
+
+class TestEnvironment:
+    def test_declaration_order_is_recorded(self):
+        env = Environment()
+        declare_prelude(env)
+        order = env.declaration_order()
+        assert order.index("unit") < order.index("eq")
+
+    def test_recursors_are_auto_generated(self):
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        assert env.has_constant("nat_rect")
+        assert env.has_constant("eq_rect")
+
+    def test_duplicate_inductive_rejected(self):
+        env = Environment()
+        declare_prelude(env)
+        with pytest.raises(EnvError):
+            declare_prelude(env)
+
+    def test_unknown_lookups_raise(self):
+        env = Environment()
+        with pytest.raises(EnvError):
+            env.constant("missing")
+        with pytest.raises(EnvError):
+            env.inductive("missing")
+
+    def test_remove_deletes_globals(self):
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        env.remove("nat")
+        env.remove("nat_rect")
+        assert not env.has_inductive("nat")
+        assert not env.has_constant("nat_rect")
+
+    def test_define_with_wrong_type_rejected(self):
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        with pytest.raises(TermError):
+            env.define(
+                "broken",
+                parse(env, "S O"),
+                type=parse(env, "bool"),
+            )
+
+    def test_redefine_replaces_body(self):
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        env.define("two", parse(env, "2"))
+        env.redefine("two", parse(env, "3"), type=Ind("nat"))
+        from repro.kernel import nf
+
+        assert nf(env, parse(env, "two")) == parse(env, "3")
+
+    def test_assume_declares_axiom(self):
+        env = Environment()
+        declare_prelude(env)
+        decl = env.assume("some_prop", PROP)
+        assert decl.body is None
+        assert not decl.unfoldable
+
+    def test_opaque_constants_do_not_unfold(self):
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        env.define("sealed", parse(env, "2"), opaque=True)
+        from repro.kernel import Const, nf
+
+        assert nf(env, Const("sealed")) == Const("sealed")
+
+
+class TestContext:
+    def test_type_of_lifts(self):
+        ctx = Context.empty().push("A", SET).push("x", Rel(0))
+        # x : A, where A sits one binder below.
+        assert ctx.type_of(0) == Rel(1)
+        assert ctx.type_of(1) == SET
+
+    def test_out_of_range(self):
+        with pytest.raises(TermError):
+            Context.empty().type_of(0)
+
+    def test_fresh_name_avoids_collisions(self):
+        ctx = Context.empty().push("x", SET).push("x0", SET)
+        assert ctx.fresh_name("x") not in ("x", "x0")
+
+    def test_name_of_out_of_range_is_placeholder(self):
+        assert Context.empty().name_of(3).startswith("_rel")
+
+    def test_iteration_order_is_innermost_first(self):
+        ctx = Context.empty().push("outer", SET).push("inner", SET)
+        names = [name for name, _ in ctx]
+        assert names == ["inner", "outer"]

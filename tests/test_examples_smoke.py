@@ -1,0 +1,36 @@
+"""Every shipped example runs to completion as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "replica_benchmark.py",
+        "vectors_from_lists.py",
+        "binary_numbers.py",
+        "records_from_tuples.py",
+        "constr_refactor.py",
+        "command_workflow.py",
+    } <= names

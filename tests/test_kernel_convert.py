@@ -1,0 +1,85 @@
+"""Conversion (definitional equality) and cumulativity."""
+
+from repro.kernel import (
+    App,
+    Const,
+    Ind,
+    Lam,
+    PROP,
+    Pi,
+    Rel,
+    SET,
+    Sort,
+    conv,
+    sub,
+    type_sort,
+)
+from repro.syntax.parser import parse
+from repro.stdlib.natlib import nat_of_int
+
+
+class TestConv:
+    def test_syntactic_equality(self, env_basic):
+        assert conv(env_basic, nat_of_int(2), nat_of_int(2))
+
+    def test_beta_conversion(self, env_basic):
+        lhs = App(Lam("x", Ind("nat"), Rel(0)), nat_of_int(3))
+        assert conv(env_basic, lhs, nat_of_int(3))
+
+    def test_delta_iota_conversion(self, env_basic):
+        assert conv(
+            env_basic,
+            parse(env_basic, "add 1 2"),
+            parse(env_basic, "3"),
+        )
+
+    def test_add_succ_definitional(self, env_basic):
+        # add (S n) m == S (add n m) holds by iota, even for open n, m.
+        lhs = parse(env_basic, "fun (n m : nat) => add (S n) m")
+        rhs = parse(env_basic, "fun (n m : nat) => S (add n m)")
+        assert conv(env_basic, lhs, rhs)
+
+    def test_add_succ_right_not_definitional(self, env_basic):
+        # add n (S m) == S (add n m) is only propositional.
+        lhs = parse(env_basic, "fun (n m : nat) => add n (S m)")
+        rhs = parse(env_basic, "fun (n m : nat) => S (add n m)")
+        assert not conv(env_basic, lhs, rhs)
+
+    def test_eta_for_functions(self, env_basic):
+        f = parse(env_basic, "pred")
+        eta = parse(env_basic, "fun (n : nat) => pred n")
+        assert conv(env_basic, f, eta)
+        assert conv(env_basic, eta, f)
+
+    def test_distinct_constructors_not_convertible(self, env_basic):
+        assert not conv(env_basic, nat_of_int(0), nat_of_int(1))
+
+    def test_sorts(self, env_basic):
+        assert conv(env_basic, SET, SET)
+        assert not conv(env_basic, SET, PROP)
+        assert not conv(env_basic, type_sort(1), type_sort(2))
+
+    def test_pi_congruence(self, env_basic):
+        a = parse(env_basic, "forall (n : nat), nat")
+        b = parse(env_basic, "nat -> nat")
+        assert conv(env_basic, a, b)
+
+
+class TestCumulativity:
+    def test_sort_subtyping(self, env_basic):
+        assert sub(env_basic, PROP, SET)
+        assert sub(env_basic, SET, type_sort(1))
+        assert sub(env_basic, type_sort(1), type_sort(2))
+        assert not sub(env_basic, type_sort(2), type_sort(1))
+
+    def test_pi_codomain_covariant(self, env_basic):
+        small = Pi("x", Ind("nat"), SET)
+        large = Pi("x", Ind("nat"), type_sort(2))
+        assert sub(env_basic, small, large)
+        assert not sub(env_basic, large, small)
+
+    def test_pi_domain_invariant(self, env_basic):
+        # Coq-style: domains are compared for conversion, not subtyping.
+        small = Pi("x", SET, Ind("nat"))
+        large = Pi("x", type_sort(2), Ind("nat"))
+        assert not sub(env_basic, small, large)

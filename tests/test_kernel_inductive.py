@@ -1,0 +1,187 @@
+"""Inductive declarations: case types, iota, positivity, indexed families."""
+
+import pytest
+
+from repro.kernel import (
+    App,
+    Constr,
+    ConstructorDecl,
+    Context,
+    Elim,
+    Environment,
+    Ind,
+    InductiveDecl,
+    InductiveError,
+    Lam,
+    PROP,
+    Pi,
+    Rel,
+    SET,
+    case_type,
+    constructor_args_and_indices,
+    infer,
+    nf,
+    pretty,
+    type_sort,
+)
+from repro.kernel.inductive import analyze_recursive_args, check_positivity
+from repro.stdlib.natlib import nat_of_int
+from repro.syntax.parser import parse
+
+
+class TestDeclaration:
+    def test_arity_of_parametrized_family(self, env_lists):
+        decl = env_lists.inductive("vector")
+        arity = decl.arity()
+        assert isinstance(arity, Pi)
+
+    def test_constructor_type_closed(self, env_lists):
+        decl = env_lists.inductive("list")
+        cons_ty = decl.constructor_type(1)
+        # forall (T : Type1), T -> list T -> list T
+        binders_ok = isinstance(cons_ty, Pi)
+        assert binders_ok
+        assert cons_ty.domain == type_sort(1)
+
+    def test_constructor_index_lookup(self, env_lists):
+        decl = env_lists.inductive("list")
+        assert decl.constructor_index("cons") == 1
+        with pytest.raises(InductiveError):
+            decl.constructor_index("snoc")
+
+    def test_positivity_rejects_negative_occurrence(self):
+        env = Environment()
+        bad = InductiveDecl(
+            name="bad",
+            params=(),
+            indices=(),
+            sort=SET,
+            constructors=(
+                ConstructorDecl(
+                    "mk", args=(("f", Pi("_", Ind("bad"), Ind("bad"))),)
+                ),
+            ),
+        )
+        with pytest.raises(InductiveError):
+            env.declare_inductive(bad)
+
+    def test_functional_recursive_arg_is_positive(self, env_basic):
+        # Briefly declare a W-ish type: recursion under an arrow is fine
+        # when the inductive is only in the codomain.
+        env = Environment()
+        from repro.stdlib.prelude import declare_prelude
+        from repro.stdlib.natlib import declare_nat
+
+        declare_prelude(env)
+        declare_nat(env)
+        tree = InductiveDecl(
+            name="tree",
+            params=(),
+            indices=(),
+            sort=SET,
+            constructors=(
+                ConstructorDecl("leaf", args=()),
+                ConstructorDecl(
+                    "node",
+                    args=(("kids", Pi("_", Ind("nat"), Ind("tree"))),),
+                ),
+            ),
+        )
+        env.declare_inductive(tree)
+        # The recursor exists and its functional IH works.
+        depth = parse(
+            env,
+            """
+            fun (t : tree) =>
+              Elim[tree](t; fun (_ : tree) => nat)
+                { O,
+                  fun (kids : nat -> tree) (IH : nat -> nat) =>
+                    S (IH O) }
+            """,
+        )
+        value = nf(
+            env,
+            App(
+                depth,
+                parse(env, "node (fun (n : nat) => node (fun (m : nat) => leaf))"),
+            ),
+        )
+        assert value == nat_of_int(2)
+
+
+class TestCaseTypes:
+    def test_list_cons_case_interleaves_ih(self, env_lists):
+        decl = env_lists.inductive("list")
+        motive = Lam("l", Ind("list").app(Ind("nat")), PROP)
+        ct = case_type(decl, 1, [Ind("nat")], motive)
+        # forall (t : nat) (l : list nat), P l -> P (cons t l)
+        assert isinstance(ct, Pi)
+        assert ct.domain == Ind("nat")
+        inner = ct.codomain
+        assert inner.domain == Ind("list").app(Ind("nat"))
+
+    def test_vector_case_tracks_indices(self, env_lists):
+        decl = env_lists.inductive("vector")
+        motive = parse(
+            env_lists,
+            "fun (n : nat) (v : vector nat n) => eq nat n n",
+        )
+        ct = case_type(decl, 1, [Ind("nat")], motive)
+        rendered = pretty(ct, env=env_lists)
+        assert "S" in rendered  # the conclusion is at index S n
+
+    def test_constructor_args_and_indices_instantiates_params(self, env_lists):
+        decl = env_lists.inductive("vector")
+        args, indices = constructor_args_and_indices(decl, 1, [Ind("bool")])
+        names = [name for name, _ in args]
+        assert names == ["t", "n", "v"]
+        assert args[0][1] == Ind("bool")
+
+    def test_eq_param_instantiation_order(self, env_basic):
+        # Regression: eq has two parameters (A, x); the result index must
+        # instantiate to x, not A (this was a real bug).
+        decl = env_basic.inductive("eq")
+        _args, indices = constructor_args_and_indices(
+            decl, 0, [Ind("nat"), nat_of_int(3)]
+        )
+        assert indices == (nat_of_int(3),)
+
+
+class TestRecursiveArgs:
+    def test_list_recursion_analysis(self, env_lists):
+        decl = env_lists.inductive("list")
+        rec = analyze_recursive_args(decl, 1)
+        assert rec[0] is None  # the element
+        assert rec[1] is not None  # the tail
+        assert rec[1].inner_binders == 0
+
+    def test_vector_recursion_has_index(self, env_lists):
+        decl = env_lists.inductive("vector")
+        rec = analyze_recursive_args(decl, 1)
+        assert rec[2] is not None
+        assert len(rec[2].indices) == 1
+
+
+class TestIota:
+    def test_iota_supplies_ih(self, env_basic):
+        # Elim(S O) reduces to the successor case applied to O and the
+        # recursively computed value.
+        term = parse(
+            env_basic,
+            "Elim[nat](2; fun (_ : nat) => nat)"
+            "{ 5, fun (p : nat) (IH : nat) => S IH }",
+        )
+        assert nf(env_basic, term) == nat_of_int(7)
+
+    def test_iota_on_indexed_family(self, env_lists):
+        term = parse(
+            env_lists,
+            """
+            Elim[vector](vcons nat 9 0 (vnil nat);
+                fun (m : nat) (w : vector nat m) => nat)
+              { O,
+                fun (t : nat) (m : nat) (w : vector nat m) (IH : nat) =>
+                  S IH }
+            """,
+        )
+        assert nf(env_lists, term) == nat_of_int(1)

@@ -1,0 +1,251 @@
+"""Unit and property tests for the de Bruijn term machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    PROP,
+    Pi,
+    Rel,
+    SET,
+    Sort,
+    Term,
+    TermError,
+    abstract_term,
+    collect_globals,
+    count_nodes,
+    free_rels,
+    lift,
+    mentions_global,
+    mk_app,
+    mk_lams,
+    mk_pis,
+    occurs_rel,
+    replace_subterm,
+    subst,
+    subst_many,
+    type_sort,
+    unfold_app,
+    unfold_lams,
+    unfold_pis,
+)
+
+
+# ---------------------------------------------------------------------------
+# Random term generation for property tests
+# ---------------------------------------------------------------------------
+
+
+def terms(max_free: int = 3):
+    """Strategy producing random terms (the tested laws are syntactic, so
+    well-scopedness is not required)."""
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=max_free + 2).map(Rel),
+        st.sampled_from([PROP, SET, Sort(1)]),
+        st.sampled_from([Const("c"), Ind("i"), Constr("i", 0)]),
+    )
+    return st.recursive(
+        leaves,
+        lambda sub: st.one_of(
+            st.tuples(sub, sub).map(lambda p: App(*p)),
+            st.tuples(sub, sub).map(lambda p: Lam("x", p[0], p[1])),
+            st.tuples(sub, sub).map(lambda p: Pi("x", p[0], p[1])),
+        ),
+        max_leaves=12,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+
+class TestSpines:
+    def test_mk_app_unfold_roundtrip(self):
+        term = mk_app(Const("f"), [Rel(0), Rel(1), SET])
+        head, args = unfold_app(term)
+        assert head == Const("f")
+        assert args == (Rel(0), Rel(1), SET)
+
+    def test_unfold_app_on_atom(self):
+        assert unfold_app(Rel(3)) == (Rel(3), ())
+
+    def test_app_method(self):
+        assert Const("f").app(Rel(0), Rel(1)) == App(App(Const("f"), Rel(0)), Rel(1))
+
+    def test_mk_pis_unfold_roundtrip(self):
+        binders = [("a", SET), ("b", Rel(0))]
+        term = mk_pis(binders, Rel(1))
+        back, body = unfold_pis(term)
+        assert list(back) == binders
+        assert body == Rel(1)
+
+    def test_mk_lams_unfold_roundtrip(self):
+        binders = [("a", SET), ("b", Rel(0))]
+        term = mk_lams(binders, Rel(0))
+        back, body = unfold_lams(term)
+        assert list(back) == binders
+        assert body == Rel(0)
+
+
+class TestSorts:
+    def test_prop_set_levels(self):
+        assert PROP.is_prop and not PROP.is_set
+        assert SET.is_set and not SET.is_prop
+
+    def test_type_sort_validates(self):
+        assert type_sort(2).level == 2
+        with pytest.raises(TermError):
+            type_sort(0)
+
+
+# ---------------------------------------------------------------------------
+# Lifting
+# ---------------------------------------------------------------------------
+
+
+class TestLift:
+    def test_lift_free_variable(self):
+        assert lift(Rel(0), 2) == Rel(2)
+
+    def test_lift_respects_cutoff(self):
+        assert lift(Rel(0), 2, cutoff=1) == Rel(0)
+        assert lift(Rel(1), 2, cutoff=1) == Rel(3)
+
+    def test_lift_under_binder(self):
+        term = Lam("x", SET, App(Rel(0), Rel(1)))
+        lifted = lift(term, 1)
+        assert lifted == Lam("x", SET, App(Rel(0), Rel(2)))
+
+    def test_lift_zero_is_identity(self):
+        term = Pi("x", SET, App(Rel(0), Rel(3)))
+        assert lift(term, 0) is term
+
+    def test_negative_lift_checks_underflow(self):
+        with pytest.raises(TermError):
+            lift(Rel(0), -1)
+
+    @given(terms(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=80)
+    def test_lift_then_unlift(self, term, amount):
+        assert lift(lift(term, amount), -amount, cutoff=0) == term
+
+    @given(terms(), st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=80)
+    def test_lift_composition(self, term, a, b):
+        assert lift(lift(term, a), b) == lift(term, a + b)
+
+
+# ---------------------------------------------------------------------------
+# Substitution
+# ---------------------------------------------------------------------------
+
+
+class TestSubst:
+    def test_subst_hits_target(self):
+        assert subst(Rel(0), Const("v")) == Const("v")
+
+    def test_subst_shifts_above(self):
+        assert subst(Rel(3), Const("v"), 1) == Rel(2)
+
+    def test_subst_leaves_below(self):
+        assert subst(Rel(0), Const("v"), 1) == Rel(0)
+
+    def test_subst_under_binder_lifts_replacement(self):
+        term = Lam("x", SET, Rel(1))
+        assert subst(term, Rel(5)) == Lam("x", SET, Rel(6))
+
+    @given(terms(), terms(max_free=1))
+    @settings(max_examples=80)
+    def test_subst_after_lift_is_identity(self, term, value):
+        # Substituting into a term that was lifted over the binder is a
+        # no-op (the classic simplification law).
+        assert subst(lift(term, 1), value, 0) == term
+
+    def test_subst_many_is_sequential(self):
+        term = App(Rel(0), Rel(1))
+        result = subst_many(term, [Const("a"), Const("b")])
+        assert result == App(Const("a"), Const("b"))
+
+
+# ---------------------------------------------------------------------------
+# Free variables, occurrences, abstraction
+# ---------------------------------------------------------------------------
+
+
+class TestFreeRels:
+    def test_closed_term(self):
+        assert Lam("x", SET, Rel(0)).is_closed()
+
+    def test_open_term(self):
+        assert free_rels(App(Rel(0), Rel(2))) == frozenset({0, 2})
+
+    def test_binder_adjustment(self):
+        assert free_rels(Lam("x", SET, Rel(2))) == frozenset({1})
+
+    def test_occurs_rel(self):
+        assert occurs_rel(Lam("x", SET, Rel(1)), 0)
+        assert not occurs_rel(Lam("x", SET, Rel(0)), 0)
+
+    @given(terms())
+    @settings(max_examples=80)
+    def test_lift_shifts_free_set(self, term):
+        shifted = free_rels(lift(term, 2))
+        assert shifted == frozenset(i + 2 for i in free_rels(term))
+
+
+class TestAbstraction:
+    def test_abstract_term_creates_binder_reference(self):
+        goal = App(Const("P"), Const("t"))
+        body = abstract_term(goal, Const("t"))
+        assert body == App(Const("P"), Rel(0))
+        assert subst(body, Const("t")) == goal
+
+    def test_abstract_term_under_binder(self):
+        goal = Lam("x", SET, App(Const("t"), Rel(0)))
+        body = abstract_term(goal, Const("t"))
+        assert body == Lam("x", SET, App(Rel(1), Rel(0)))
+
+    @given(terms(max_free=0))
+    @settings(max_examples=100)
+    def test_abstract_then_subst_roundtrip(self, target):
+        goal = App(App(Const("P"), target), Const("other"))
+        body = abstract_term(goal, target)
+        assert subst(body, target) == goal
+
+    def test_replace_subterm(self):
+        term = App(Const("old"), Lam("x", Const("old"), Rel(0)))
+        out = replace_subterm(term, Const("old"), Const("new"))
+        assert out == App(Const("new"), Lam("x", Const("new"), Rel(0)))
+
+
+# ---------------------------------------------------------------------------
+# Global references
+# ---------------------------------------------------------------------------
+
+
+class TestGlobals:
+    def test_mentions_global_const(self):
+        assert mentions_global(App(Const("x"), Rel(0)), "x")
+        assert not mentions_global(App(Const("x"), Rel(0)), "y")
+
+    def test_mentions_global_through_elim(self):
+        term = Elim("list", Rel(0), (Rel(1),), Rel(2))
+        assert mentions_global(term, "list")
+
+    def test_mentions_global_constructor(self):
+        assert mentions_global(Constr("nat", 1), "nat")
+
+    def test_collect_globals(self):
+        term = App(Const("f"), App(Ind("t"), Constr("u", 0)))
+        assert collect_globals(term) == frozenset({"f", "t", "u"})
+
+    def test_count_nodes(self):
+        assert count_nodes(App(Rel(0), Rel(1))) == 3

@@ -1,0 +1,99 @@
+"""First-order matching (the apply tactic's unifier) in isolation."""
+
+import pytest
+
+from repro.kernel import Const, Constr, Ind, Lam, Pi, Rel, unfold_pis
+from repro.syntax.parser import parse, parse_in
+from repro.tactics.matching import (
+    MatchFailure,
+    instantiate_pattern,
+    match_conclusion,
+)
+from repro.stdlib.natlib import nat_of_int
+
+
+def conclusion_of(env, source):
+    """Pi telescope + conclusion of a statement, as (pattern, n_vars)."""
+    term = parse(env, source)
+    binders, conclusion = unfold_pis(term)
+    return conclusion, len(binders)
+
+
+class TestBasicMatching:
+    def test_assigns_pattern_variables(self, env_basic):
+        pattern, n = conclusion_of(
+            env_basic, "forall (x y : nat), eq nat x y"
+        )
+        target = parse(env_basic, "eq nat 1 2")
+        assign = match_conclusion(env_basic, pattern, n, target)
+        assert assign[1] == nat_of_int(1)  # x is the outer binder
+        assert assign[0] == nat_of_int(2)
+
+    def test_conflicting_assignment_fails(self, env_basic):
+        pattern, n = conclusion_of(env_basic, "forall (x : nat), eq nat x x")
+        target = parse(env_basic, "eq nat 1 2")
+        with pytest.raises(MatchFailure):
+            match_conclusion(env_basic, pattern, n, target)
+
+    def test_conflict_resolved_by_conversion(self, env_basic):
+        pattern, n = conclusion_of(env_basic, "forall (x : nat), eq nat x x")
+        target = parse(env_basic, "eq nat (add 1 1) 2")
+        assign = match_conclusion(env_basic, pattern, n, target)
+        assert 0 in assign
+
+    def test_reduction_exposes_structure(self, env_basic):
+        pattern, n = conclusion_of(env_basic, "forall (x : nat), eq nat (S x) 2")
+        # The target hides the S under a beta redex.
+        target = parse(env_basic, "eq nat ((fun (k : nat) => S k) 1) 2")
+        assign = match_conclusion(env_basic, pattern, n, target)
+        assert assign[0] == nat_of_int(1)
+
+    def test_mismatched_heads_fail(self, env_basic):
+        pattern, n = conclusion_of(env_basic, "forall (x : nat), eq nat x x")
+        target = parse(env_basic, "and (eq nat 1 1) (eq nat 2 2)")
+        with pytest.raises(MatchFailure):
+            match_conclusion(env_basic, pattern, n, target)
+
+
+class TestHigherOrder:
+    def test_rigid_decomposition(self, env_basic):
+        # f x =~ g y decomposes when arities agree.
+        pattern, n = conclusion_of(
+            env_basic,
+            "forall (f : nat -> nat) (x : nat), eq nat (f x) (f x)",
+        )
+        target = parse_in(env_basic, "eq nat (g 1) (g 1)", ("g",))
+        assign = match_conclusion(env_basic, pattern, n, target)
+        assert assign[1] == Rel(0)  # f := g
+        assert assign[0] == nat_of_int(1)
+
+    def test_assigned_head_checked_by_conversion(self, env_basic):
+        pattern, n = conclusion_of(
+            env_basic,
+            "forall (f : nat -> nat), eq nat (f 1) (f 1)",
+        )
+        target = parse(env_basic, "eq nat (S 1) (S 1)")
+        assign = match_conclusion(env_basic, pattern, n, target)
+        assert 0 in assign
+
+
+class TestScoping:
+    def test_local_capture_is_rejected(self, env_basic):
+        # A pattern variable cannot be assigned a term mentioning a
+        # binder local to the match position: matching
+        # ``forall x, eq nat ?y x`` against ``forall x, eq nat (S x) x``
+        # would need ?y := S x, which escapes its scope.
+        pattern = parse_in(env_basic, "forall (x : nat), eq nat y x", ("y",))
+        target = parse(env_basic, "forall (x : nat), eq nat (S x) x")
+        with pytest.raises(MatchFailure):
+            match_conclusion(env_basic, pattern, 1, target)
+
+    def test_instantiate_pattern_requires_full_assignment(self, env_basic):
+        pattern, n = conclusion_of(env_basic, "forall (x : nat), eq nat x x")
+        with pytest.raises(MatchFailure):
+            instantiate_pattern(pattern, {}, n)
+
+    def test_instantiate_pattern_shifts_ambient(self, env_basic):
+        pattern, n = conclusion_of(env_basic, "forall (x : nat), eq nat x x")
+        out = instantiate_pattern(pattern, {0: nat_of_int(4)}, n)
+        assert out == parse(env_basic, "eq nat 4 4")

@@ -1,0 +1,106 @@
+"""Multiple equivalences in one pass (the Section 8 extension).
+
+The paper lists "Multiple Equivalences" as an open challenge: deciding
+which equivalence applies when several match.  The Transformer accepts a
+list of configurations and tries their rules in order at every subterm,
+which ports the Galois Handshake+Connection stack in a *single* pass
+(the case study needs two sequential passes with one equivalence each).
+"""
+
+import pytest
+
+from repro.cases.galois import CONNECTION_FIELDS, setup_environment
+from repro.core.search.tuples_records import (
+    RecordSide,
+    TupleSide,
+    tuples_records_configuration,
+)
+from repro.core.config import Configuration
+from repro.core.transform import Transformer
+from repro.kernel import Context, check, mentions_global, pretty
+from repro.syntax.parser import parse
+
+
+@pytest.fixture(scope="module")
+def single_pass():
+    env = setup_environment()
+    # Handshake: tuple alias -> record (with the proved equivalence).
+    handshake = tuples_records_configuration(
+        env, "Record.Handshake", tuple_alias="Galois.Handshake"
+    )
+    # Connection: the *raw* tuple (whose handshake field is the Handshake
+    # tuple alias) -> the Connection record.  The field-type mismatch in
+    # the middle is exactly what the Handshake configuration covers.
+    record_side = RecordSide(env, "Record.Connection")
+    raw_fields = list(record_side.field_types)
+    from repro.kernel import Const
+
+    raw_fields[3] = Const("Galois.Handshake")
+    tuple_side = TupleSide(env, raw_fields, alias="Galois.Connection")
+    connection = Configuration(a=tuple_side, b=record_side)
+    transformer = Transformer(env, [connection, handshake])
+    return env, transformer
+
+
+class TestSinglePass:
+    def test_cork_ports_in_one_pass(self, single_pass):
+        env, transformer = single_pass
+        cork = env.constant("cork")
+        new_type = transformer(cork.type)
+        new_body = transformer(cork.body)
+        assert pretty(new_type, env=env) == (
+            "Record.Connection -> Record.Connection"
+        )
+        for old in ("Galois.Connection", "Galois.Handshake"):
+            assert not mentions_global(new_body, old)
+            assert not mentions_global(new_type, old)
+        check(env, Context.empty(), new_body, new_type)
+
+    def test_handshake_values_port_through_connection_rule(self, single_pass):
+        env, transformer = single_pass
+        # A literal Connection tuple whose handshake component is a
+        # Handshake tuple: both equivalences fire in one traversal.
+        term = parse(
+            env,
+            """
+            pair bool (prod (seq 2 bool) (prod (seq 8 bool)
+              (prod Galois.Handshake (prod bool (prod bool
+                (prod (seq 32 bool) (prod bool bool)))))))
+              true
+              (pair (seq 2 bool) (prod (seq 8 bool)
+                (prod Galois.Handshake (prod bool (prod bool
+                  (prod (seq 32 bool) (prod bool bool))))))
+                (bvNat 2 0)
+                (pair (seq 8 bool) (prod Galois.Handshake (prod bool
+                  (prod bool (prod (seq 32 bool) (prod bool bool)))))
+                  (bvNat 8 0)
+                  (pair Galois.Handshake (prod bool (prod bool
+                    (prod (seq 32 bool) (prod bool bool))))
+                    (pair (seq 32 bool) (seq 32 bool)
+                      (bvNat 32 0) (bvNat 32 1))
+                    (pair bool (prod bool (prod (seq 32 bool)
+                      (prod bool bool)))
+                      false
+                      (pair bool (prod (seq 32 bool) (prod bool bool))
+                        false
+                        (pair (seq 32 bool) (prod bool bool)
+                          (bvNat 32 0)
+                          (pair bool bool false true)))))))
+            """,
+        )
+        out = transformer(term)
+        rendered = pretty(out, env=env)
+        assert "MkConnection" in rendered
+        assert "MkHandshake" in rendered
+        assert not mentions_global(out, "Galois.Handshake")
+
+    def test_rule_order_matters_for_nested_types(self, single_pass):
+        # The Connection configuration is listed first; a bare Handshake
+        # value must still be handled by the second configuration.
+        env, transformer = single_pass
+        term = parse(
+            env,
+            "pair (seq 32 bool) (seq 32 bool) (bvNat 32 3) (bvNat 32 4)",
+        )
+        out = transformer(term)
+        assert "MkHandshake" in pretty(out, env=env)

@@ -1,0 +1,207 @@
+"""The object-language standard library, validated against Python models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Const, Constr, Context, Ind, check, conv, mk_app, nf
+from repro.stdlib import make_env
+from repro.stdlib.natlib import int_of_nat, nat_of_int
+from repro.syntax.parser import parse
+
+small_nat = st.integers(min_value=0, max_value=12)
+
+
+def run(env, source):
+    return nf(env, parse(env, source))
+
+
+class TestNatModel:
+    @given(small_nat, small_nat)
+    @settings(max_examples=40, deadline=None)
+    def test_add_matches_python(self, env_basic, a, b):
+        value = nf(env_basic, mk_app(Const("add"), [nat_of_int(a), nat_of_int(b)]))
+        assert int_of_nat(value) == a + b
+
+    @given(small_nat, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_mul_matches_python(self, env_basic, a, b):
+        value = nf(env_basic, mk_app(Const("mul"), [nat_of_int(a), nat_of_int(b)]))
+        assert int_of_nat(value) == a * b
+
+    @given(small_nat)
+    @settings(max_examples=20, deadline=None)
+    def test_pred_matches_python(self, env_basic, a):
+        value = nf(env_basic, mk_app(Const("pred"), [nat_of_int(a)]))
+        assert int_of_nat(value) == max(0, a - 1)
+
+    def test_numeral_codec_roundtrip(self):
+        for k in range(20):
+            assert int_of_nat(nat_of_int(k)) == k
+
+    def test_int_of_nat_rejects_non_numerals(self, env_basic):
+        with pytest.raises(ValueError):
+            int_of_nat(Ind("nat"))
+
+    def test_lemmas_present_and_checked(self, env_basic):
+        for name in ["add_n_O", "add_n_Sm", "add_comm", "add_assoc"]:
+            decl = env_basic.constant(name)
+            check(env_basic, Context.empty(), decl.body, decl.type)
+
+
+class TestListModel:
+    def _mk_list(self, env, values):
+        term = parse(env, "nil nat")
+        for v in reversed(values):
+            term = Constr("list", 1).app(Ind("nat"), nat_of_int(v), term)
+        return term
+
+    def _to_list(self, env, term):
+        out = []
+        term = nf(env, term)
+        while True:
+            from repro.kernel import unfold_app
+
+            head, args = unfold_app(term)
+            if head == Constr("list", 0):
+                return out
+            assert head == Constr("list", 1)
+            out.append(int_of_nat(args[1]))
+            term = args[2]
+
+    @given(st.lists(small_nat, max_size=6), st.lists(small_nat, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_app_matches_python(self, env_lists, xs, ys):
+        term = Const("app").app(
+            Ind("nat"), self._mk_list(env_lists, xs), self._mk_list(env_lists, ys)
+        )
+        assert self._to_list(env_lists, term) == xs + ys
+
+    @given(st.lists(small_nat, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_rev_matches_python(self, env_lists, xs):
+        term = Const("rev").app(Ind("nat"), self._mk_list(env_lists, xs))
+        assert self._to_list(env_lists, term) == xs[::-1]
+
+    @given(st.lists(small_nat, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_length_matches_python(self, env_lists, xs):
+        term = Const("length").app(Ind("nat"), self._mk_list(env_lists, xs))
+        assert int_of_nat(nf(env_lists, term)) == len(xs)
+
+    def test_rev_app_distr_statement(self, env_lists):
+        decl = env_lists.constant("rev_app_distr")
+        check(env_lists, Context.empty(), decl.body, decl.type)
+
+    def test_zip_with_is_zip_checked(self, env_lists):
+        decl = env_lists.constant("zip_with_is_zip")
+        check(env_lists, Context.empty(), decl.body, decl.type)
+
+
+class TestBinaryModel:
+    def _n(self, env, k):
+        return nf(env, parse(env, f"N.of_nat {k}"))
+
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_nadd_matches_python(self, env_binary, a, b):
+        total = nf(
+            env_binary,
+            mk_app(Const("N.add"), [self._n(env_binary, a), self._n(env_binary, b)]),
+        )
+        assert total == self._n(env_binary, a + b)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_to_nat_of_nat_roundtrip(self, env_binary, a):
+        out = nf(env_binary, parse(env_binary, f"N.to_nat (N.of_nat {a})"))
+        assert int_of_nat(out) == a
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_succ_matches_python(self, env_binary, a):
+        out = nf(
+            env_binary, mk_app(Const("N.succ"), [self._n(env_binary, a)])
+        )
+        assert out == self._n(env_binary, a + 1)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_div2_odd(self, env_binary, a):
+        half = nf(env_binary, mk_app(Const("N.div2"), [self._n(env_binary, a)]))
+        assert half == self._n(env_binary, a // 2)
+        odd = nf(env_binary, mk_app(Const("N.odd"), [self._n(env_binary, a)]))
+        expected = "true" if a % 2 else "false"
+        assert odd == parse(env_binary, expected)
+
+    def test_peano_rect_succ_checked(self, env_binary):
+        for name in ["Pos.peano_rect_succ", "N.peano_rect_succ", "N.add_succ_l"]:
+            decl = env_binary.constant(name)
+            check(env_binary, Context.empty(), decl.body, decl.type)
+
+    def test_peano_rect_computes(self, env_binary):
+        # N.peano_rect behaves like the unary recursor.
+        out = nf(
+            env_binary,
+            parse(
+                env_binary,
+                "N.peano_rect (fun (_ : N) => nat) O "
+                "(fun (m : N) (IH : nat) => S IH) (N.of_nat 6)",
+            ),
+        )
+        assert int_of_nat(out) == 6
+
+
+class TestBitvectors:
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15))
+    @settings(max_examples=25, deadline=None)
+    def test_bvadd_is_mod_2n(self, env_full, a, b):
+        out = nf(env_full, parse(env_full, f"bvAdd 4 (bvNat 4 {a}) (bvNat 4 {b})"))
+        expected = nf(env_full, parse(env_full, f"bvNat 4 {(a + b) % 16}"))
+        assert out == expected
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=20, deadline=None)
+    def test_bv_to_n_roundtrip(self, env_full, a):
+        out = nf(
+            env_full,
+            parse(env_full, f"bvToN 8 (bvNat 8 {a})"),
+        )
+        expected = nf(env_full, parse(env_full, f"N.of_nat {a}"))
+        assert out == expected
+
+    def test_seq_is_vector(self, env_full):
+        assert conv(
+            env_full,
+            parse(env_full, "seq 2 bool"),
+            parse(env_full, "vector bool 2"),
+        )
+
+
+class TestRecords:
+    def test_record_projections_compute(self, env_basic):
+        from repro.kernel import Environment
+        from repro.stdlib import declare_record
+        from repro.stdlib.prelude import declare_prelude
+        from repro.stdlib.natlib import declare_nat
+
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        declare_record(env, "Point", [("px", Ind("nat")), ("py", Ind("nat"))])
+        assert int_of_nat(nf(env, parse(env, "px (MkPoint 3 4)"))) == 3
+        assert int_of_nat(nf(env, parse(env, "py (MkPoint 3 4)"))) == 4
+
+    def test_record_fields_helper(self):
+        from repro.kernel import Environment
+        from repro.stdlib import declare_record, record_fields
+        from repro.stdlib.prelude import declare_prelude
+        from repro.stdlib.natlib import declare_nat
+
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        declare_record(env, "Point", [("px", Ind("nat")), ("py", Ind("nat"))])
+        fields = record_fields(env, "Point")
+        assert [f for f, _ in fields] == ["px", "py"]

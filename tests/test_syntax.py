@@ -1,0 +1,133 @@
+"""Parser and pretty printer: grammar, resolution, round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Constr, Ind, Lam, PROP, Pi, Rel, pretty
+from repro.syntax.lexer import LexError, tokenize
+from repro.syntax.parser import ParseError, parse, parse_in
+from repro.stdlib.natlib import nat_of_int
+
+
+class TestLexer:
+    def test_tokenize_punctuation(self):
+        kinds = [t.text for t in tokenize("( ) => -> , ; : # [ ] { }")[:-1]]
+        assert kinds == ["(", ")", "=>", "->", ",", ";", ":", "#", "[", "]", "{", "}"]
+
+    def test_qualified_identifiers(self):
+        tokens = tokenize("Old.list.cons")
+        assert tokens[0].text == "Old.list.cons"
+
+    def test_comments_nest(self):
+        tokens = tokenize("a (* x (* y *) z *) b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("(* oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "int"
+
+
+class TestParser:
+    def test_numerals_are_unary(self, env_basic):
+        assert parse(env_basic, "3") == nat_of_int(3)
+
+    def test_fun_and_forall(self, env_basic):
+        term = parse(env_basic, "fun (n : nat) => n")
+        assert term == Lam("n", Ind("nat"), Rel(0))
+        term = parse(env_basic, "forall (n : nat), nat")
+        assert term == Pi("n", Ind("nat"), Ind("nat"))
+
+    def test_arrow_sugar(self, env_basic):
+        assert parse(env_basic, "nat -> nat") == Pi("_", Ind("nat"), Ind("nat"))
+
+    def test_arrow_is_right_associative(self, env_basic):
+        a = parse(env_basic, "nat -> nat -> nat")
+        b = parse(env_basic, "nat -> (nat -> nat)")
+        assert a == b
+
+    def test_grouped_binders_share_type(self, env_basic):
+        a = parse(env_basic, "fun (n m : nat) => n")
+        b = parse(env_basic, "fun (n : nat) (m : nat) => n")
+        assert a == b
+
+    def test_constructor_by_index(self, env_basic):
+        assert parse(env_basic, "nat#1 nat#0") == nat_of_int(1)
+
+    def test_constructor_by_name(self, env_basic):
+        assert parse(env_basic, "S O") == nat_of_int(1)
+
+    def test_ambiguous_constructor_rejected(self, env_basic):
+        from repro.stdlib import declare_list_type
+        from repro.kernel import Environment
+        from repro.stdlib.prelude import declare_prelude
+        from repro.stdlib.natlib import declare_nat
+
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        declare_list_type(env, "list")
+        declare_list_type(env, "New.list", swapped=True)
+        with pytest.raises(ParseError):
+            parse(env, "fun (T : Type1) => cons")
+
+    def test_qualified_constructor_accepted(self, env_basic):
+        from repro.kernel import Environment
+        from repro.stdlib import declare_list_type
+        from repro.stdlib.prelude import declare_prelude
+        from repro.stdlib.natlib import declare_nat
+
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        declare_list_type(env, "list")
+        declare_list_type(env, "New.list", swapped=True)
+        term = parse(env, "New.list.cons")
+        assert term == Constr("New.list", 0)
+
+    def test_elim_syntax(self, env_basic):
+        term = parse(
+            env_basic,
+            "Elim[nat](O; fun (_ : nat) => nat){ O, fun (p IH : nat) => p }",
+        )
+        assert term.ind == "nat"
+        assert len(term.cases) == 2
+
+    def test_unknown_identifier(self, env_basic):
+        with pytest.raises(ParseError):
+            parse(env_basic, "frobnicate")
+
+    def test_parse_in_binds_frees(self, env_basic):
+        term = parse_in(env_basic, "S n", ("n",))
+        assert term == Constr("nat", 1).app(Rel(0))
+
+    def test_sorts(self, env_basic):
+        assert parse(env_basic, "Prop") == PROP
+        assert parse(env_basic, "Type3").level == 3
+
+
+class TestRoundTrip:
+    CASES = [
+        "fun (n : nat) => S n",
+        "forall (n : nat), eq nat n n",
+        "fun (P : nat -> Prop) (H : forall (n : nat), P n) => H 2",
+        "fun (n : nat) => Elim[nat](n; fun (k : nat) => nat)"
+        "{ O, fun (p : nat) (IH : nat) => S IH }",
+        "forall (A : Prop) (B : Prop), and A B -> A",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_print_parse_roundtrip(self, env_basic, source):
+        term = parse(env_basic, source)
+        rendered = pretty(term, env=env_basic)
+        assert parse(env_basic, rendered) == term
+
+    def test_roundtrip_of_stdlib_bodies(self, env_lists):
+        # Every stdlib definition round-trips through the printer.
+        for name in ["add", "mul", "app", "rev", "length", "zip"]:
+            body = env_lists.constant(name).body
+            rendered = pretty(body, env=env_lists)
+            assert parse(env_lists, rendered) == body

@@ -1,0 +1,305 @@
+"""The tactic engine and every tactic, including failure modes."""
+
+import pytest
+
+from repro.kernel import Constr, Context, Ind, check, pretty
+from repro.syntax.parser import parse
+from repro.tactics import Proof, TacticError, prove
+from repro.tactics.tactics import (
+    apply,
+    assumption,
+    auto,
+    change,
+    constructor,
+    destruct,
+    discriminate,
+    elim_using,
+    exact,
+    exists_,
+    first,
+    induction,
+    intro,
+    intros,
+    left,
+    reflexivity,
+    rewrite,
+    right,
+    simpl,
+    split,
+    symmetry,
+    trivial,
+    try_,
+)
+
+
+class TestEngine:
+    def test_prove_returns_checked_term(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat n n")
+        term = prove(env_basic, stmt, intro("n"), reflexivity())
+        check(env_basic, Context.empty(), term, stmt)
+
+    def test_qed_requires_completion(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat n n")
+        proof = Proof(env_basic, stmt)
+        proof.run(intro("n"))
+        with pytest.raises(TacticError):
+            proof.qed()
+
+    def test_show_renders_goal(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat n n")
+        proof = Proof(env_basic, stmt)
+        proof.run(intro("n"))
+        rendered = proof.show()
+        assert "n : nat" in rendered
+        assert "eq nat n n" in rendered
+
+    def test_focus_next_rotates(self, env_basic):
+        stmt = parse(
+            env_basic, "and (eq nat O O) (eq nat 1 1)"
+        )
+        proof = Proof(env_basic, stmt)
+        proof.run(split())
+        first_goal = proof.focused
+        proof.focus_next()
+        assert proof.focused != first_goal
+
+    def test_statement_must_be_a_type(self, env_basic):
+        with pytest.raises(Exception):
+            Proof(env_basic, parse(env_basic, "S O"))
+
+
+class TestIntro:
+    def test_intro_names_hypothesis(self, env_basic):
+        stmt = parse(env_basic, "nat -> nat -> nat")
+        proof = Proof(env_basic, stmt)
+        proof.run(intro("a"))
+        assert proof.focused.ctx.name_of(0) == "a"
+
+    def test_intro_freshens_duplicates(self, env_basic):
+        stmt = parse(env_basic, "nat -> nat -> nat")
+        proof = Proof(env_basic, stmt)
+        proof.run(intro("a"))
+        proof.run(intro("a"))
+        names = proof.focused.hypothesis_names()
+        assert len(set(names)) == 2
+
+    def test_intro_fails_on_non_product(self, env_basic):
+        proof = Proof(env_basic, parse(env_basic, "eq nat O O"))
+        with pytest.raises(TacticError):
+            proof.run(intro())
+
+    def test_intros_all(self, env_basic):
+        stmt = parse(env_basic, "forall (a b c : nat), eq nat a a")
+        proof = Proof(env_basic, stmt)
+        proof.run(intros())
+        assert len(proof.focused.ctx) == 3
+
+    def test_intros_unfolds_definitions(self, env_basic):
+        # The goal's product may be hidden behind a constant.
+        stmt = parse(env_basic, "forall (a : nat), eq nat (pred (S a)) a")
+        prove(env_basic, stmt, intros("a"), reflexivity())
+
+
+class TestEqualityTactics:
+    def test_symmetry(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat (add n 0) n")
+        prove(
+            env_basic, stmt, intro("n"), symmetry(),
+            rewrite("add_n_O n"), reflexivity(),
+        )
+
+    def test_rewrite_forward_and_backward(self, env_basic):
+        stmt = parse(
+            env_basic,
+            "forall (x y : nat), eq nat x y -> eq nat (S x) (S y)",
+        )
+        prove(env_basic, stmt, intros(), rewrite("H"), reflexivity())
+        prove(env_basic, stmt, intros(), rewrite("H", rev=True), reflexivity())
+
+    def test_rewrite_requires_equality_proof(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat n n")
+        proof = Proof(env_basic, stmt)
+        proof.run(intro("n"))
+        with pytest.raises(TacticError):
+            proof.run(rewrite("n"))
+
+    def test_rewrite_nothing_to_rewrite(self, env_basic):
+        stmt = parse(
+            env_basic,
+            "forall (x y : nat), eq nat x y -> eq nat O O",
+        )
+        proof = Proof(env_basic, stmt)
+        proof.run(intros())
+        with pytest.raises(TacticError):
+            proof.run(rewrite("H"))
+
+    def test_reflexivity_conversion(self, env_basic):
+        stmt = parse(env_basic, "eq nat (add 2 3) 5")
+        prove(env_basic, stmt, reflexivity())
+
+    def test_reflexivity_rejects_unequal(self, env_basic):
+        proof = Proof(env_basic, parse(env_basic, "eq nat 1 2"))
+        with pytest.raises(TacticError):
+            proof.run(reflexivity())
+
+
+class TestApply:
+    def test_apply_generates_premise_subgoals(self, env_basic):
+        stmt = parse(
+            env_basic,
+            "forall (x y z : nat), eq nat x y -> eq nat y z -> eq nat x z",
+        )
+        prove(
+            env_basic, stmt, intros(),
+            apply("eq_trans nat x y z"), assumption(), assumption(),
+        )
+
+    def test_apply_infers_from_conclusion(self, env_basic):
+        stmt = parse(env_basic, "forall (x y : nat), eq nat x y -> eq nat y x")
+        prove(env_basic, stmt, intros(), apply("eq_sym"), assumption())
+
+    def test_apply_higher_order_decomposition(self, env_basic):
+        stmt = parse(
+            env_basic,
+            "forall (x y : nat) (f : nat -> nat), "
+            "eq nat x y -> eq nat (f x) (f y)",
+        )
+        prove(env_basic, stmt, intros(), apply("f_equal nat nat"), assumption())
+
+    def test_apply_mismatched_conclusion_fails(self, env_basic):
+        proof = Proof(env_basic, parse(env_basic, "eq nat O O"))
+        with pytest.raises(TacticError):
+            proof.run(apply("conj"))
+
+
+class TestStructural:
+    def test_split_left_right(self, env_basic):
+        stmt = parse(
+            env_basic,
+            "and (eq nat O O) (or (eq nat 1 2) (eq nat 1 1))",
+        )
+        prove(
+            env_basic, stmt,
+            split(), reflexivity(), right(), reflexivity(),
+        )
+
+    def test_exists(self, env_basic):
+        stmt = parse(env_basic, "sigT nat (fun (n : nat) => eq nat (S n) 3)")
+        prove(env_basic, stmt, exists_("2"), reflexivity())
+
+    def test_constructor_picks_first_match(self, env_basic):
+        stmt = parse(env_basic, "or (eq nat O O) (eq nat O 1)")
+        prove(env_basic, stmt, constructor(), reflexivity())
+
+    def test_change_converts_goal(self, env_basic):
+        stmt = parse(env_basic, "eq nat (add 1 1) 2")
+        prove(env_basic, stmt, change("eq nat 2 2"), reflexivity())
+
+    def test_change_rejects_non_convertible(self, env_basic):
+        proof = Proof(env_basic, parse(env_basic, "eq nat (add 1 1) 2"))
+        with pytest.raises(TacticError):
+            proof.run(change("eq nat 3 3"))
+
+
+class TestInduction:
+    def test_simple_induction(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat (add O n) n")
+        prove(env_basic, stmt, intro("n"), reflexivity())
+
+    def test_induction_generates_ih(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat (add n O) n")
+        proof = Proof(env_basic, stmt)
+        proof.run(intro("n"))
+        proof.run(induction("n", names=[[], ["p", "IHp"]]))
+        assert len(proof.goals) == 2
+        proof.run(reflexivity())
+        assert "IHp" in proof.focused.hypothesis_names()
+
+    def test_indexed_induction_on_vector(self, env_lists):
+        stmt = parse(
+            env_lists,
+            """
+            forall (T : Type1) (n : nat) (v : vector T n),
+              eq nat n n
+            """,
+        )
+        prove(
+            env_lists, stmt, intros("T", "n", "v"),
+            induction("v", names=[[], ["t", "m", "w", "IHw"]]),
+            reflexivity(), reflexivity(),
+        )
+
+    def test_indexed_induction_requires_variable_indices(self, env_lists):
+        stmt = parse(
+            env_lists,
+            "forall (T : Type1) (v : vector T 2), eq nat 2 2",
+        )
+        proof = Proof(env_lists, stmt)
+        proof.run(intros("T", "v"))
+        with pytest.raises(TacticError):
+            proof.run(induction("v"))
+
+    def test_destruct_non_variable_scrutinee(self, env_basic):
+        stmt = parse(
+            env_basic,
+            "forall (b : bool), or (eq bool (negb b) true) "
+            "(eq bool (negb b) false)",
+        )
+        prove(
+            env_basic, stmt, intro("b"),
+            destruct("negb b"),
+            left(), reflexivity(), right(), reflexivity(),
+        )
+
+    def test_elim_using_custom_eliminator(self, env_binary):
+        stmt = parse(env_binary, "forall (n : N), eq N (N.add N0 n) n")
+        prove(
+            env_binary, stmt, intro("n"),
+            elim_using("N.peano_rect", "n"),
+            reflexivity(),
+            intros("m", "IH"),
+            reflexivity(),
+        )
+
+
+class TestDiscriminate:
+    def test_discriminate_closes_goal(self, env_basic):
+        stmt = parse(
+            env_basic, "forall (x : nat), eq nat (S x) O -> eq nat 1 2"
+        )
+        prove(env_basic, stmt, intros("x", "H"), discriminate("H"))
+
+    def test_discriminate_rejects_same_constructor(self, env_basic):
+        stmt = parse(
+            env_basic, "forall (x : nat), eq nat (S x) (S x) -> eq nat 1 2"
+        )
+        proof = Proof(env_basic, stmt)
+        proof.run(intros("x", "H"))
+        with pytest.raises(TacticError):
+            proof.run(discriminate("H"))
+
+
+class TestAutomation:
+    def test_assumption(self, env_basic):
+        stmt = parse(env_basic, "forall (P : Prop), P -> P")
+        prove(env_basic, stmt, intros(), assumption())
+
+    def test_auto_tries_hypotheses(self, env_basic):
+        stmt = parse(
+            env_basic,
+            "forall (P Q : Prop), (P -> Q) -> P -> Q",
+        )
+        prove(env_basic, stmt, intros(), auto())
+
+    def test_trivial_is_auto(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat n n")
+        prove(env_basic, stmt, intro("n"), trivial())
+
+    def test_try_swallows_failure(self, env_basic):
+        stmt = parse(env_basic, "forall (n : nat), eq nat n n")
+        prove(env_basic, stmt, intro("n"), try_(split()), reflexivity())
+
+    def test_first_reports_all_failures(self, env_basic):
+        proof = Proof(env_basic, parse(env_basic, "eq nat 1 2"))
+        with pytest.raises(TacticError):
+            proof.run(first(reflexivity(), assumption()))

@@ -1,0 +1,175 @@
+"""The Figure 10 transformation: each rule, unification, and Figure 11."""
+
+import pytest
+
+from repro.core import (
+    AlignedSide,
+    Configuration,
+    TransformCache,
+    Transformer,
+    transform_term,
+)
+from repro.core.search.swap import swap_configuration
+from repro.kernel import (
+    Const,
+    Constr,
+    Context,
+    Elim,
+    Ind,
+    Lam,
+    Rel,
+    conv,
+    mentions_global,
+    nf,
+    pretty,
+    typecheck_closed,
+)
+from repro.stdlib import declare_list_type, make_env
+from repro.syntax.parser import parse
+
+
+@pytest.fixture(scope="module")
+def swap_env():
+    env = make_env(lists=True, vectors=False)
+    declare_list_type(env, "New.list", swapped=True)
+    return env
+
+
+@pytest.fixture(scope="module")
+def swap_config(swap_env):
+    return swap_configuration(swap_env, "list", "New.list", prove=False)
+
+
+class TestRules:
+    def test_dep_constr_rule(self, swap_env, swap_config):
+        # nil (constructor 0 of the old type) maps to constructor 1 of
+        # the new type — Figure 8.
+        term = parse(swap_env, "list.nil nat")
+        out = transform_term(swap_env, swap_config, term)
+        assert out == Constr("New.list", 1).app(Ind("nat"))
+
+    def test_dep_constr_with_args(self, swap_env, swap_config):
+        term = parse(swap_env, "list.cons nat 1 (list.nil nat)")
+        out = transform_term(swap_env, swap_config, term)
+        head_new_cons = Constr("New.list", 0)
+        assert out == head_new_cons.app(
+            Ind("nat"),
+            parse(swap_env, "1"),
+            Constr("New.list", 1).app(Ind("nat")),
+        )
+
+    def test_equivalence_rule_on_types(self, swap_env, swap_config):
+        term = parse(swap_env, "forall (l : list nat), eq (list nat) l l")
+        out = transform_term(swap_env, swap_config, term)
+        assert not mentions_global(out, "list")
+        assert mentions_global(out, "New.list")
+
+    def test_dep_elim_rule_swaps_cases(self, swap_env, swap_config):
+        term = parse(
+            swap_env,
+            "fun (l : list nat) => "
+            "Elim[list](l; fun (_ : list nat) => nat)"
+            "{ O, fun (t : nat) (r : list nat) (IH : nat) => S IH }",
+        )
+        out = transform_term(swap_env, swap_config, term)
+        body = out.body
+        assert isinstance(body, Elim)
+        assert body.ind == "New.list"
+        # The nil case (O) is now the *second* case.
+        assert body.cases[1] == parse(swap_env, "O")
+
+    def test_structural_rule_leaves_unrelated(self, swap_env, swap_config):
+        term = parse(swap_env, "fun (n : nat) => S n")
+        assert transform_term(swap_env, swap_config, term) == term
+
+    def test_const_map_replaces_dependencies(self, swap_env):
+        config = swap_configuration(swap_env, "list", "New.list", prove=False)
+        config.const_map["app"] = "New.app.fake"
+        term = Const("app")
+        out = transform_term(swap_env, config, term)
+        assert out == Const("New.app.fake")
+
+    def test_transform_well_typed_output(self, swap_env, swap_config):
+        term = swap_env.constant("app").body
+        out = transform_term(swap_env, swap_config, term)
+        ty = typecheck_closed(swap_env, out)
+        assert mentions_global(ty, "New.list")
+
+
+class TestFigure11:
+    """The four-step append example of Figure 11."""
+
+    def test_append_end_to_end(self, swap_env, swap_config):
+        original = swap_env.constant("app").body
+        transformed = transform_term(swap_env, swap_config, original)
+        # Step 4 of Figure 11: the final term eliminates over New.list
+        # with the cases swapped back into declaration order.
+        binders_body = transformed
+        while isinstance(binders_body, Lam):
+            binders_body = binders_body.body
+        assert isinstance(binders_body, Elim)
+        assert binders_body.ind == "New.list"
+        # Behaviour is preserved up to the equivalence: appending the
+        # transformed lists agrees with transforming the appended list.
+        xs = parse(swap_env, "list.cons nat 1 (list.cons nat 2 (list.nil nat))")
+        ys = parse(swap_env, "list.cons nat 3 (list.nil nat)")
+        old_append = nf(swap_env, Const("app").app(Ind("nat"), xs, ys))
+        transformer = Transformer(swap_env, swap_config)
+        lhs = nf(swap_env, transformer(old_append))
+        new_append = transformed
+        rhs = nf(
+            swap_env,
+            new_append.app(Ind("nat"), transformer(xs), transformer(ys)),
+        )
+        assert lhs == rhs
+
+
+class TestCache:
+    def test_cache_hits_accumulate(self, swap_env):
+        config = swap_configuration(swap_env, "list", "New.list", prove=False)
+        cache = TransformCache()
+        transformer = Transformer(swap_env, config, cache=cache)
+        term = swap_env.constant("rev_app_distr").body
+        transformer(term)
+        assert cache.misses > 0
+        first_misses = cache.misses
+        transformer(term)
+        assert cache.hits > 0
+        assert cache.misses == first_misses  # fully cached second time
+
+    def test_cache_disabled(self, swap_env):
+        config = swap_configuration(swap_env, "list", "New.list", prove=False)
+        cache = TransformCache(enabled=False)
+        transformer = Transformer(swap_env, config, cache=cache)
+        transformer(swap_env.constant("app").body)
+        assert cache.size == 0
+        assert cache.hits == 0
+
+
+class TestConfigurationChecks:
+    def test_sides_must_agree_on_counts(self, swap_env):
+        from repro.core import ConfigError
+
+        with pytest.raises(ConfigError):
+            Configuration(
+                a=AlignedSide(swap_env, "list"),
+                b=AlignedSide(swap_env, "nat"),
+            )
+
+    def test_invalid_permutation_rejected(self, swap_env):
+        from repro.core import ConfigError
+
+        with pytest.raises(ConfigError):
+            AlignedSide(swap_env, "list", perm=(0, 0))
+
+    def test_figure12_check_passes(self, swap_env):
+        config = swap_configuration(swap_env, "list", "New.list")
+        config.check(swap_env)
+
+    def test_reversed_configuration_round_trips(self, swap_env):
+        config = swap_configuration(swap_env, "list", "New.list")
+        back = config.reversed()
+        term = parse(swap_env, "list.cons nat 1 (list.nil nat)")
+        there = transform_term(swap_env, config, term)
+        here = transform_term(swap_env, back, there)
+        assert here == term

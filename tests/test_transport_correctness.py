@@ -1,0 +1,153 @@
+"""Observational correctness of transport (the Figure 12 criteria, run).
+
+The paper's correctness statement — transformed terms are equal to their
+originals *up to transport along the equivalence* — is metatheoretical
+(Section 4.2.2).  Here we check it observationally with property tests:
+for random closed inputs, transporting the input and then running the
+repaired function agrees with running the original function and then
+transporting the output.  This commuting square is exactly
+``dep_constr_ok``/``dep_elim_ok`` at ground type.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.repair import RepairSession
+from repro.core.search.ornaments import ornament_configuration
+from repro.core.search.swap import swap_configuration
+from repro.core.transform import Transformer
+from repro.kernel import Const, Ind, mk_app, nf
+from repro.stdlib import declare_list_type, make_env
+from repro.stdlib.natlib import nat_of_int
+from repro.syntax.parser import parse
+
+small_nat = st.integers(min_value=0, max_value=9)
+small_list = st.lists(small_nat, max_size=5)
+
+
+@pytest.fixture(scope="module")
+def swap_setup():
+    env = make_env(lists=True, vectors=False)
+    declare_list_type(env, "New.list", swapped=True)
+    config = swap_configuration(env, "list", "New.list")
+    session = RepairSession(
+        env, config, old_globals=["list"], rename=lambda n: f"New.{n}"
+    )
+    session.repair_module(["app", "rev", "length", "map"])
+    transformer = Transformer(env, config)
+    return env, config, transformer
+
+
+def mk_list(env, values, module="list"):
+    from repro.kernel import Constr
+
+    decl = env.inductive(module)
+    nil_index = decl.constructor_index("nil")
+    cons_index = decl.constructor_index("cons")
+    term = Constr(module, nil_index).app(Ind("nat"))
+    for v in reversed(values):
+        term = Constr(module, cons_index).app(Ind("nat"), nat_of_int(v), term)
+    return term
+
+
+class TestSwapTransport:
+    @given(small_list)
+    @settings(max_examples=20, deadline=None)
+    def test_rev_commutes(self, swap_setup, xs):
+        env, _config, transformer = swap_setup
+        old = nf(env, Const("rev").app(Ind("nat"), mk_list(env, xs)))
+        transported_then_run = nf(
+            env,
+            Const("New.rev").app(Ind("nat"), transformer(mk_list(env, xs))),
+        )
+        run_then_transported = nf(env, transformer(old))
+        assert transported_then_run == run_then_transported
+
+    @given(small_list, small_list)
+    @settings(max_examples=20, deadline=None)
+    def test_app_commutes(self, swap_setup, xs, ys):
+        env, _config, transformer = swap_setup
+        old = nf(
+            env,
+            Const("app").app(Ind("nat"), mk_list(env, xs), mk_list(env, ys)),
+        )
+        new = nf(
+            env,
+            Const("New.app").app(
+                Ind("nat"),
+                transformer(mk_list(env, xs)),
+                transformer(mk_list(env, ys)),
+            ),
+        )
+        assert new == nf(env, transformer(old))
+
+    @given(small_list)
+    @settings(max_examples=20, deadline=None)
+    def test_length_is_invariant(self, swap_setup, xs):
+        # length lands in nat, which the equivalence does not touch: the
+        # transported function must return the *same* numeral.
+        env, _config, transformer = swap_setup
+        old = nf(env, Const("length").app(Ind("nat"), mk_list(env, xs)))
+        new = nf(
+            env,
+            Const("New.length").app(Ind("nat"), transformer(mk_list(env, xs))),
+        )
+        assert old == new
+
+    @given(small_list)
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_roundtrip_on_values(self, swap_setup, xs):
+        env, config, transformer = swap_setup
+        value = mk_list(env, xs)
+        there = nf(env, mk_app(config.equivalence.f, [Ind("nat"), value]))
+        back = nf(env, mk_app(config.equivalence.g, [Ind("nat"), there]))
+        assert back == nf(env, value)
+
+    @given(small_list)
+    @settings(max_examples=20, deadline=None)
+    def test_transform_agrees_with_equivalence_function(self, swap_setup, xs):
+        # On closed values, the syntactic transformation and the
+        # semantic function f of the equivalence coincide.
+        env, config, transformer = swap_setup
+        value = mk_list(env, xs)
+        via_transform = nf(env, transformer(value))
+        via_f = nf(env, mk_app(config.equivalence.f, [Ind("nat"), value]))
+        assert via_transform == via_f
+
+
+@pytest.fixture(scope="module")
+def ornament_setup():
+    env = make_env(lists=True, vectors=True)
+    config = ornament_configuration(env)
+    transformer = Transformer(env, config)
+    return env, config, transformer
+
+
+class TestOrnamentTransport:
+    @given(small_list)
+    @settings(max_examples=15, deadline=None)
+    def test_packed_value_has_correct_index(self, ornament_setup, xs):
+        # Transporting a list yields a packed vector whose index is the
+        # list's length — the algebraic-ornament invariant.
+        env, _config, transformer = ornament_setup
+        packed = nf(env, transformer(mk_list(env, xs)))
+        index = nf(
+            env,
+            Const("projT1").app(
+                Ind("nat"),
+                parse(env, "fun (n : nat) => vector nat n"),
+                packed,
+            ),
+        )
+        assert index == nat_of_int(len(xs))
+
+    @given(small_list)
+    @settings(max_examples=15, deadline=None)
+    def test_forget_after_transform_is_identity(self, ornament_setup, xs):
+        env, config, transformer = ornament_setup
+        value = mk_list(env, xs)
+        packed = nf(env, transformer(value))
+        back = nf(
+            env, Const("ornament.forget").app(Ind("nat"), packed)
+        )
+        assert back == nf(env, value)

@@ -1,0 +1,90 @@
+"""The unpack machinery (Section 6.2, second configuration) in isolation."""
+
+import pytest
+
+from repro.core.search.unpack import declare_unpack_support
+from repro.kernel import Context, check, nf, pretty
+from repro.stdlib import make_env
+from repro.syntax.parser import parse
+
+
+@pytest.fixture(scope="module")
+def env():
+    env = make_env(lists=True, vectors=True)
+    declare_unpack_support(env)
+    return env
+
+
+class TestVectorCast:
+    def test_cast_along_refl_is_identity(self, env):
+        out = nf(
+            env,
+            parse(
+                env,
+                "vector_cast nat 1 1 (eq_refl nat 1) "
+                "(vcons nat 5 0 (vnil nat))",
+            ),
+        )
+        assert out == nf(env, parse(env, "vcons nat 5 0 (vnil nat)"))
+
+    def test_cast_is_the_identity_generalized(self, env):
+        # Section 6.2.1: "the identity function generalized over any
+        # equal index".
+        ty = env.constant("vector_cast").type
+        rendered = pretty(ty, env=env)
+        assert "eq nat m n" in rendered
+        assert rendered.endswith("vector T n")
+
+
+class TestUnpack:
+    def test_unpack_packed_vector(self, env):
+        out = nf(
+            env,
+            parse(
+                env,
+                """
+                unpack nat 2
+                  (existT nat (fun (k : nat) => vector nat k) 2
+                     (vcons nat 1 1 (vcons nat 2 0 (vnil nat))))
+                  (eq_refl nat 2)
+                """,
+            ),
+        )
+        expected = nf(
+            env, parse(env, "vcons nat 1 1 (vcons nat 2 0 (vnil nat))")
+        )
+        assert out == expected
+
+    def test_unpack_requires_matching_proof(self, env):
+        from repro.kernel import TypeError_
+
+        bad = parse(
+            env,
+            """
+            fun (v : vector nat 1) =>
+              unpack nat 2
+                (existT nat (fun (k : nat) => vector nat k) 1 v)
+                (eq_refl nat 2)
+            """,
+        )
+        with pytest.raises(TypeError_):
+            from repro.kernel import typecheck_closed
+
+            typecheck_closed(env, bad)
+
+
+class TestCoherence:
+    def test_coherence_statement_shape(self, env):
+        ty = env.constant("unpack_coherence").type
+        rendered = pretty(ty, env=env)
+        assert "eq_trans" in rendered
+        assert "f_equal" in rendered
+
+    def test_coherence_checks(self, env):
+        decl = env.constant("unpack_coherence")
+        check(env, Context.empty(), decl.body, decl.type)
+
+    def test_idempotent_declaration(self, env):
+        # declare_unpack_support is safe to call twice.
+        declare_unpack_support(env)
+        assert env.has_constant("unpack_coherence")
