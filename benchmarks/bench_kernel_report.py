@@ -1,0 +1,96 @@
+"""Write BENCH_kernel.json: end-to-end repair timings and cache hit rates.
+
+Runs the replica and binary case studies with all kernel performance
+layers enabled and disabled, recording wall time per configuration and
+the :data:`~repro.kernel.stats.KERNEL_STATS` snapshot of the enabled
+run (intern hits, per-table memo hit rates, reduction-cache hit rates).
+CI uploads the resulting JSON as an artifact so regressions in the
+caching layers show up as a dropping speedup multiplier.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_report.py [OUTPUT.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.kernel.env import set_reduction_cache_default
+from repro.kernel.stats import KERNEL_STATS
+from repro.kernel.term import (
+    clear_term_caches,
+    set_hash_consing,
+    set_term_memo,
+)
+
+
+CASES = ("replica", "binary")
+
+
+def _run_case(name: str) -> None:
+    if name == "replica":
+        from repro.cases.replica import run_scenario
+    elif name == "binary":
+        from repro.cases.binary import run_scenario
+    else:
+        raise ValueError(f"unknown case {name!r}")
+    run_scenario()
+
+
+def _set_layers(enabled: bool) -> None:
+    set_hash_consing(enabled)
+    set_term_memo(enabled)
+    set_reduction_cache_default(enabled)
+    clear_term_caches()
+    KERNEL_STATS.reset()
+
+
+def _measure(case: str, enabled: bool) -> dict:
+    _set_layers(enabled)
+    start = time.perf_counter()
+    _run_case(case)
+    elapsed = time.perf_counter() - start
+    entry = {"wall_time_s": round(elapsed, 4), "layers_enabled": enabled}
+    if enabled:
+        entry["kernel_stats"] = KERNEL_STATS.snapshot()
+    return entry
+
+
+def build_report() -> dict:
+    report = {"benchmark": "kernel performance layers", "cases": {}}
+    try:
+        for case in CASES:
+            on = _measure(case, True)
+            off = _measure(case, False)
+            speedup = off["wall_time_s"] / max(on["wall_time_s"], 1e-9)
+            report["cases"][case] = {
+                "layers_on": on,
+                "layers_off": off,
+                "speedup": round(speedup, 2),
+            }
+    finally:
+        _set_layers(True)
+    return report
+
+
+def main(argv) -> int:
+    out_path = argv[1] if len(argv) > 1 else "BENCH_kernel.json"
+    report = build_report()
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for case, data in report["cases"].items():
+        print(
+            f"{case}: on {data['layers_on']['wall_time_s']}s, "
+            f"off {data['layers_off']['wall_time_s']}s, "
+            f"speedup {data['speedup']}x"
+        )
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,14 @@ industrial proof engineer would wait.  :class:`TransformCache` is that
 cache; it can be disabled (the paper exposes the same switch) and it
 counts hits and misses so the caching ablation benchmark can report its
 effect.
+
+Keys are built by :meth:`TransformCache.key_for`, which *prunes* the
+context component down to the entries the term can actually observe: the
+transitive closure of its free de Bruijn variables.  Under deep binder
+nesting (eliminator cases, long telescopes) the same subterm recurs
+under many syntactically different contexts that agree on the entries it
+uses; pruning makes those lookups hit.  Hash-consed terms (see
+:mod:`repro.kernel.term`) make the keys cheap to hash and compare.
 """
 
 from __future__ import annotations
@@ -14,31 +22,76 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from ..kernel.term import Term
+from ..kernel.context import Context
+from ..kernel.term import Term, free_rels, max_free_rel
 
 
 @dataclass
 class TransformCache:
-    """Memoizes transformed subterms, keyed by (term, context shape)."""
+    """Memoizes transformed subterms, keyed by (term, relevant context)."""
 
     enabled: bool = True
+    prune_context: bool = True
     hits: int = 0
     misses: int = 0
-    _store: Dict[Tuple, Term] = field(default_factory=dict)
+    _store: Dict[Tuple, Tuple] = field(default_factory=dict)
+
+    def key_for(self, term: Term, ctx: Context) -> Tuple:
+        """Cache key for transforming ``term`` under ``ctx``.
+
+        Only context entries reachable from the term's free variables
+        (following free variables of the entry types themselves) can
+        influence the transformation, so the key records just those
+        entries, tagged with their de Bruijn positions.  Two occurrences
+        of the same subterm under contexts that agree on that slice
+        share one entry.
+
+        The key pairs an identity-based lookup tuple with the pinned
+        referents: term equality ignores binder display names, so a
+        structural key could hand back a transformed term with someone
+        else's names.  Hash-consed terms are pointer-identical when
+        names also agree, so identity keys still hit.
+        """
+        entries = ctx.entries
+        if not self.prune_context:
+            pinned = tuple(ty for _name, ty in entries)
+            lookup = (id(term), tuple(id(ty) for ty in pinned))
+            return (lookup, (term, pinned))
+        size = len(entries)
+        if size == 0 or max_free_rel(term) == 0:
+            return ((id(term), ()), (term, ()))
+        needed: set = set()
+        pending = [i for i in free_rels(term) if i < size]
+        while pending:
+            i = pending.pop()
+            if i in needed:
+                continue
+            needed.add(i)
+            # The type of entry i lives under entries i+1..; its free
+            # Rel(j) refers to entry i+1+j.
+            for j in free_rels(entries[i][1]):
+                k = i + 1 + j
+                if k < size and k not in needed:
+                    pending.append(k)
+        pinned = tuple((i, entries[i][1]) for i in sorted(needed))
+        lookup = (id(term), tuple((i, id(ty)) for i, ty in pinned))
+        return (lookup, (term, pinned))
 
     def get(self, key: Tuple) -> Optional[Term]:
         if not self.enabled:
             return None
-        result = self._store.get(key)
-        if result is None:
+        entry = self._store.get(key[0])
+        if entry is None:
             self.misses += 1
-        else:
-            self.hits += 1
-        return result
+            return None
+        self.hits += 1
+        return entry[1]
 
     def put(self, key: Tuple, value: Term) -> None:
         if self.enabled:
-            self._store[key] = value
+            # Store the pinned referents alongside the result so the ids
+            # in the lookup tuple stay valid while the entry lives.
+            self._store[key[0]] = (key[1], value)
 
     def clear(self) -> None:
         self._store.clear()

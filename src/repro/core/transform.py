@@ -92,7 +92,7 @@ class Transformer:
     # -- The transformation -----------------------------------------------------
 
     def transform(self, term: Term, ctx: Context) -> Term:
-        key = (term, tuple(ty for _n, ty in ctx.entries))
+        key = self.cache.key_for(term, ctx)
         cached = self.cache.get(key)
         if cached is not None:
             return cached

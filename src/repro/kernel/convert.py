@@ -14,8 +14,9 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional
 
-from .env import Environment
+from .env import ABSENT, Environment
 from .reduce import whnf
+from .stats import KERNEL_STATS
 from .term import (
     App,
     Const,
@@ -32,6 +33,10 @@ from .term import (
 )
 
 
+_CONV_COUNTER = KERNEL_STATS.counter("conv")
+_CONV_TAG = "conv"
+
+
 def conv(env: Environment, t1: Term, t2: Term) -> bool:
     """Definitional equality of ``t1`` and ``t2``."""
     return _conv(env, t1, t2, cumulative=False)
@@ -43,8 +48,24 @@ def sub(env: Environment, t1: Term, t2: Term) -> bool:
 
 
 def _conv(env: Environment, t1: Term, t2: Term, cumulative: bool) -> bool:
-    if t1 == t2:
+    # Hash-consed terms make the identity fast path hit for any pair the
+    # kernel has compared (or built) before.
+    if t1 is t2 or t1 == t2:
         return True
+    cache = env.reduction_cache
+    key = None
+    if cache.enabled:
+        key = (_CONV_TAG, t1, t2, cumulative)
+        hit = cache.get(key, _CONV_COUNTER)
+        if hit is not ABSENT:
+            return hit
+    result = _conv_slow(env, t1, t2, cumulative)
+    if key is not None:
+        cache.put(key, result)
+    return result
+
+
+def _conv_slow(env: Environment, t1: Term, t2: Term, cumulative: bool) -> bool:
     t1 = whnf(env, t1)
     t2 = whnf(env, t2)
     if t1 == t2:

@@ -18,6 +18,7 @@ from .inductive import (
     case_type,
     check_positivity,
 )
+from .stats import CACHES_DISABLED_BY_ENV, KERNEL_STATS, KernelStats
 from .term import (
     Const,
     Elim,
@@ -39,6 +40,67 @@ class EnvError(TermError):
     """Raised for missing or duplicate global declarations."""
 
 
+#: Sentinel for "no entry" in :class:`ReductionCache` (cached values may
+#: legitimately be ``False``, e.g. conversion results).
+ABSENT = object()
+
+_REDUCTION_CACHE_MAX = 1 << 20
+
+_reduction_cache_default: bool = not CACHES_DISABLED_BY_ENV
+
+
+def set_reduction_cache_default(enabled: bool) -> bool:
+    """Default ``enabled`` state for new environments' reduction caches."""
+    global _reduction_cache_default
+    previous = _reduction_cache_default
+    _reduction_cache_default = enabled
+    return previous
+
+
+class ReductionCache:
+    """Environment-scoped memo for reduction and judgement results.
+
+    One store serves every kernel judgement that depends only on the
+    environment and its inputs: ``whnf`` and ``nf`` (keyed by
+    ``(tag, term, delta, frozen)``), conversion, and type inference.
+    The transformer, the type checker, and the decompiler all reduce
+    through the same :class:`Environment`, so they share this cache.
+
+    Entries stay valid under *additive* environment changes (``define``,
+    ``assume``, ``declare_inductive``): a term can only mention globals
+    that already existed when its entry was stored, because reducing a
+    term with an unknown constant raises instead of caching.  Mutating
+    changes (``redefine``, ``remove``) clear the store.
+    """
+
+    __slots__ = ("enabled", "_store")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._store: Dict[tuple, object] = {}
+
+    def get(self, key: tuple, counter) -> object:
+        """The cached value for ``key``, or :data:`ABSENT` (counted)."""
+        value = self._store.get(key, ABSENT)
+        if value is ABSENT:
+            counter.misses += 1
+        else:
+            counter.hits += 1
+        return value
+
+    def put(self, key: tuple, value: object) -> None:
+        if len(self._store) >= _REDUCTION_CACHE_MAX:
+            self._store.clear()
+        self._store[key] = value
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    @property
+    def size(self) -> int:
+        return len(self._store)
+
+
 @dataclass(frozen=True)
 class ConstantDecl:
     """A global definition: a type and an optional (delta-unfoldable) body."""
@@ -56,10 +118,24 @@ class ConstantDecl:
 class Environment:
     """A global environment of constants and inductive families."""
 
-    def __init__(self) -> None:
+    def __init__(self, reduction_cache: Optional[bool] = None) -> None:
         self._constants: Dict[str, ConstantDecl] = {}
         self._inductives: Dict[str, InductiveDecl] = {}
         self._decl_order: List[str] = []
+        if reduction_cache is None:
+            reduction_cache = _reduction_cache_default
+        self.reduction_cache = ReductionCache(enabled=reduction_cache)
+
+    @property
+    def kernel_stats(self) -> KernelStats:
+        """The process-wide :class:`KernelStats` counters.
+
+        Interning and the de Bruijn memo tables are process-global (the
+        term arena is shared by every environment), so the stats object
+        is the global singleton; it also carries the hit/miss counters
+        for this environment's reduction cache.
+        """
+        return KERNEL_STATS
 
     # -- Lookup -------------------------------------------------------------
 
@@ -163,6 +239,8 @@ class Environment:
             raise EnvError(f"cannot redefine unknown constant {name!r}")
         decl = ConstantDecl(name=name, type=type, body=body)
         self._constants[name] = decl
+        # The old body may be baked into cached reductions; drop them.
+        self.reduction_cache.clear()
         return decl
 
     def remove(self, name: str) -> None:
@@ -171,6 +249,7 @@ class Environment:
         self._inductives.pop(name, None)
         if name in self._decl_order:
             self._decl_order.remove(name)
+        self.reduction_cache.clear()
 
     # -- Internal helpers ---------------------------------------------------
 
@@ -201,6 +280,11 @@ class Environment:
                         f"{decl.name}.{ctor.name}: expected "
                         f"{decl.n_indices} result indices"
                     )
+        except BaseException:
+            # Results cached while the inductive was provisionally
+            # visible must not outlive a failed check.
+            self.reduction_cache.clear()
+            raise
         finally:
             del self._inductives[decl.name]
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from .stats import KERNEL_STATS
 from .term import (
     App,
     Constr,
@@ -35,7 +36,9 @@ from .term import (
     mk_app,
     mk_lams,
     mk_pis,
+    register_term_cache,
     subst,
+    term_memo_enabled,
     unfold_app,
     unfold_pis,
 )
@@ -333,6 +336,11 @@ def _rename(term: Term, ren: Tuple[int, ...], n_new: int, cutoff: int) -> Term:
 # ---------------------------------------------------------------------------
 
 
+_CASE_TYPE_MEMO: dict = register_term_cache({})
+_CASE_TYPE_MEMO_MAX = 1 << 18
+_CASE_TYPE_COUNTER = KERNEL_STATS.counter("case_type")
+
+
 def case_type(
     decl: InductiveDecl, j: int, params: Sequence[Term], motive: Term
 ) -> Term:
@@ -342,7 +350,32 @@ def case_type(
     binds the constructor arguments in order, with an induction-hypothesis
     binder inserted immediately after each recursive argument, and
     concludes ``motive result_indices (Constr j params args)``.
+
+    The result is a pure function of the (immutable) declaration, the
+    parameters, and the motive, so it is memoized; the type checker asks
+    for the same case types over and over while checking eliminations.
     """
+    if term_memo_enabled():
+        # Keyed by identity, with the referents pinned in the value, so
+        # a hit can never swap in binder names from an equal-but-
+        # differently-named motive or parameter.
+        key = (id(decl), j, tuple(id(p) for p in params), id(motive))
+        entry = _CASE_TYPE_MEMO.get(key)
+        if entry is not None:
+            _CASE_TYPE_COUNTER.hits += 1
+            return entry[-1]
+        _CASE_TYPE_COUNTER.misses += 1
+        result = _case_type(decl, j, params, motive)
+        if len(_CASE_TYPE_MEMO) >= _CASE_TYPE_MEMO_MAX:
+            _CASE_TYPE_MEMO.clear()
+        _CASE_TYPE_MEMO[key] = (decl, tuple(params), motive, result)
+        return result
+    return _case_type(decl, j, params, motive)
+
+
+def _case_type(
+    decl: InductiveDecl, j: int, params: Sequence[Term], motive: Term
+) -> Term:
     args, result_indices = constructor_args_and_indices(decl, j, params)
     rec_infos = analyze_recursive_args(decl, j)
     n_args = len(args)

@@ -4,14 +4,29 @@ Implements weak-head normalization (:func:`whnf`) and full normalization
 (:func:`nf`).  Delta unfolding of constants can be restricted via a
 ``frozen`` set — the implementation analogue of Pumpkin Pi's cache that
 tells the tool *not* to delta-reduce certain terms (Section 4.4).
+
+Both normalizers consult the :class:`~repro.kernel.env.ReductionCache`
+attached to the environment, keyed by ``(operation, term, delta,
+frozen)``.  The transformer, the type checker, and the decompiler all
+normalize through the same environment, so a reduction computed once is
+shared kernel-wide; hash-consed terms make the keys O(1) to hash and
+compare.  The structural rebuilders return their input unchanged when no
+child changed, so repeated normalization of an already-normal term
+allocates nothing.
+
+Terms nested deeper than Python's recursion limit raise a clean
+:class:`ReduceError` instead of ``RecursionError`` (the de Bruijn
+operations in :mod:`repro.kernel.term` are explicit-stack and have no
+such limit).
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from .env import Environment
+from .env import ABSENT, Environment
 from .inductive import iota_reduce
+from .stats import KERNEL_STATS
 from .term import (
     App,
     Const,
@@ -25,13 +40,29 @@ from .term import (
     Term,
     TermError,
     mk_app,
+    register_term_cache,
     subst,
+    term_memo_enabled,
     unfold_app,
 )
 
 
 class ReduceError(TermError):
     """Raised when reduction encounters an ill-formed redex."""
+
+
+_WHNF_COUNTER = KERNEL_STATS.counter("whnf")
+_NF_COUNTER = KERNEL_STATS.counter("nf")
+
+# Key tags keep whnf and nf entries apart in the shared store.
+_WHNF_TAG = "whnf"
+_NF_TAG = "nf"
+
+_TOO_DEEP = (
+    "term is nested too deeply to normalize recursively "
+    "(Python recursion limit reached); raise sys.setrecursionlimit "
+    "or reduce the term's depth"
+)
 
 
 def whnf(
@@ -46,6 +77,27 @@ def whnf(
     constants that must not be unfolded even when delta is enabled.
     """
     frozen = frozen or frozenset()
+    try:
+        return _whnf(env, term, delta, frozen)
+    except RecursionError:
+        raise ReduceError(_TOO_DEEP) from None
+
+
+def _whnf(
+    env: Environment, term: Term, delta: bool, frozen: FrozenSet[str]
+) -> Term:
+    # Only head shapes that whnf can actually act on are worth caching.
+    # Keys use object identity (the input is pinned in the value) so a
+    # hit can never rename binders via an equal-but-differently-named
+    # input; see _transform_rels for the full rationale.
+    cache = env.reduction_cache
+    key = None
+    pin = term
+    if cache.enabled and isinstance(term, (App, Elim, Const)):
+        key = (_WHNF_TAG, id(term), delta, frozen)
+        hit = cache.get(key, _WHNF_COUNTER)
+        if hit is not ABSENT:
+            return hit[1]
     args: List[Term] = []
     while True:
         if isinstance(term, App):
@@ -61,7 +113,7 @@ def whnf(
                 term = decl.body
                 continue
         if isinstance(term, Elim):
-            scrut = whnf(env, term.scrut, delta=delta, frozen=frozen)
+            scrut = _whnf(env, term.scrut, delta, frozen)
             head, ctor_args = unfold_app(scrut)
             if isinstance(head, Constr) and head.ind == term.ind:
                 decl = env.inductive(term.ind)
@@ -77,10 +129,14 @@ def whnf(
                     value_args,
                 )
                 continue
-            term = Elim(term.ind, term.motive, term.cases, scrut)
+            if scrut is not term.scrut:
+                term = Elim(term.ind, term.motive, term.cases, scrut)
         break
     args.reverse()
-    return mk_app(term, args)
+    result = mk_app(term, args)
+    if key is not None:
+        cache.put(key, (pin, result))
+    return result
 
 
 def nf(
@@ -91,34 +147,67 @@ def nf(
 ) -> Term:
     """Full (strong) normal form of ``term``."""
     frozen = frozen or frozenset()
-    term = whnf(env, term, delta=delta, frozen=frozen)
+    try:
+        return _nf(env, term, delta, frozen)
+    except RecursionError:
+        raise ReduceError(_TOO_DEEP) from None
+
+
+def _nf(
+    env: Environment, term: Term, delta: bool, frozen: FrozenSet[str]
+) -> Term:
+    if isinstance(term, (Rel, Sort, Ind, Constr)):
+        return term
+    cache = env.reduction_cache
+    key = None
+    if cache.enabled:
+        key = (_NF_TAG, id(term), delta, frozen)
+        hit = cache.get(key, _NF_COUNTER)
+        if hit is not ABSENT:
+            return hit[1]
+    result = _nf_uncached(env, term, delta, frozen)
+    if key is not None:
+        cache.put(key, (term, result))
+    return result
+
+
+def _nf_uncached(
+    env: Environment, term: Term, delta: bool, frozen: FrozenSet[str]
+) -> Term:
+    term = _whnf(env, term, delta, frozen)
     if isinstance(term, (Rel, Sort, Const, Ind, Constr)):
         return term
     if isinstance(term, App):
         head, args = unfold_app(term)
         # The head of a whnf application is not a redex; normalize pieces.
         norm_head = _nf_head(env, head, delta, frozen)
-        norm_args = [nf(env, a, delta=delta, frozen=frozen) for a in args]
+        norm_args = [_nf(env, a, delta, frozen) for a in args]
+        if norm_head is head and all(a is b for a, b in zip(norm_args, args)):
+            return term
         return mk_app(norm_head, norm_args)
     if isinstance(term, Lam):
-        return Lam(
-            term.name,
-            nf(env, term.domain, delta=delta, frozen=frozen),
-            nf(env, term.body, delta=delta, frozen=frozen),
-        )
+        domain = _nf(env, term.domain, delta, frozen)
+        body = _nf(env, term.body, delta, frozen)
+        if domain is term.domain and body is term.body:
+            return term
+        return Lam(term.name, domain, body)
     if isinstance(term, Pi):
-        return Pi(
-            term.name,
-            nf(env, term.domain, delta=delta, frozen=frozen),
-            nf(env, term.codomain, delta=delta, frozen=frozen),
-        )
+        domain = _nf(env, term.domain, delta, frozen)
+        codomain = _nf(env, term.codomain, delta, frozen)
+        if domain is term.domain and codomain is term.codomain:
+            return term
+        return Pi(term.name, domain, codomain)
     if isinstance(term, Elim):
-        return Elim(
-            term.ind,
-            nf(env, term.motive, delta=delta, frozen=frozen),
-            tuple(nf(env, c, delta=delta, frozen=frozen) for c in term.cases),
-            nf(env, term.scrut, delta=delta, frozen=frozen),
-        )
+        motive = _nf(env, term.motive, delta, frozen)
+        cases = [_nf(env, c, delta, frozen) for c in term.cases]
+        scrut = _nf(env, term.scrut, delta, frozen)
+        if (
+            motive is term.motive
+            and scrut is term.scrut
+            and all(a is b for a, b in zip(cases, term.cases))
+        ):
+            return term
+        return Elim(term.ind, motive, tuple(cases), scrut)
     raise ReduceError(f"nf: unknown term {term!r}")
 
 
@@ -129,16 +218,20 @@ def _nf_head(
     if isinstance(head, (Rel, Sort, Const, Ind, Constr)):
         return head
     if isinstance(head, Elim):
-        return Elim(
-            head.ind,
-            nf(env, head.motive, delta=delta, frozen=frozen),
-            tuple(nf(env, c, delta=delta, frozen=frozen) for c in head.cases),
-            nf(env, head.scrut, delta=delta, frozen=frozen),
-        )
+        motive = _nf(env, head.motive, delta, frozen)
+        cases = [_nf(env, c, delta, frozen) for c in head.cases]
+        scrut = _nf(env, head.scrut, delta, frozen)
+        if (
+            motive is head.motive
+            and scrut is head.scrut
+            and all(a is b for a, b in zip(cases, head.cases))
+        ):
+            return head
+        return Elim(head.ind, motive, tuple(cases), scrut)
     if isinstance(head, (Lam, Pi)):
         # A whnf application cannot have a Lam head with pending args, but a
         # spine can be empty; normalize structurally.
-        return nf(env, head, delta=delta, frozen=frozen)
+        return _nf(env, head, delta, frozen)
     raise ReduceError(f"nf: unexpected application head {head!r}")
 
 
@@ -146,27 +239,73 @@ def beta_reduce(term: Term) -> Term:
     """Pure beta reduction to normal form (no environment needed).
 
     Used by the transformation to clean up configuration-term
-    applications without unfolding any globals.
+    applications without unfolding any globals.  Returns the input
+    unchanged when it is already beta-normal.
     """
+    try:
+        return _beta_reduce(term)
+    except RecursionError:
+        raise ReduceError(_TOO_DEEP) from None
+
+
+_BETA_MEMO: dict = register_term_cache({})
+_BETA_MEMO_MAX = 1 << 19
+_BETA_COUNTER = KERNEL_STATS.counter("beta")
+
+
+def _beta_reduce(term: Term) -> Term:
+    # Pure function of the term alone, so composite nodes are memoized
+    # globally; hash consing makes repeated subtrees hit the table.
+    # Identity keys (with the node pinned in the value) keep the memo
+    # name-faithful: equality ignores binder display names.
+    if isinstance(term, (Rel, Sort, Const, Ind, Constr)):
+        return term
+    if term_memo_enabled():
+        entry = _BETA_MEMO.get(id(term))
+        if entry is not None:
+            _BETA_COUNTER.hits += 1
+            return entry[1]
+        _BETA_COUNTER.misses += 1
+        result = _beta_reduce_node(term)
+        if len(_BETA_MEMO) >= _BETA_MEMO_MAX:
+            _BETA_MEMO.clear()
+        _BETA_MEMO[id(term)] = (term, result)
+        return result
+    return _beta_reduce_node(term)
+
+
+def _beta_reduce_node(term: Term) -> Term:
     if isinstance(term, App):
-        fn = beta_reduce(term.fn)
-        arg = beta_reduce(term.arg)
+        fn = _beta_reduce(term.fn)
+        arg = _beta_reduce(term.arg)
         if isinstance(fn, Lam):
-            return beta_reduce(subst(fn.body, arg))
+            return _beta_reduce(subst(fn.body, arg))
+        if fn is term.fn and arg is term.arg:
+            return term
         return App(fn, arg)
     if isinstance(term, Lam):
-        return Lam(term.name, beta_reduce(term.domain), beta_reduce(term.body))
+        domain = _beta_reduce(term.domain)
+        body = _beta_reduce(term.body)
+        if domain is term.domain and body is term.body:
+            return term
+        return Lam(term.name, domain, body)
     if isinstance(term, Pi):
-        return Pi(
-            term.name, beta_reduce(term.domain), beta_reduce(term.codomain)
-        )
+        domain = _beta_reduce(term.domain)
+        codomain = _beta_reduce(term.codomain)
+        if domain is term.domain and codomain is term.codomain:
+            return term
+        return Pi(term.name, domain, codomain)
     if isinstance(term, Elim):
-        return Elim(
-            term.ind,
-            beta_reduce(term.motive),
-            tuple(beta_reduce(c) for c in term.cases),
-            beta_reduce(term.scrut),
-        )
+        motive = _beta_reduce(term.motive)
+        cases = [_beta_reduce(c) for c in term.cases]
+        scrut = _beta_reduce(term.scrut)
+        if (
+            motive is term.motive
+            and scrut is term.scrut
+            and all(a is b for a, b in zip(cases, term.cases))
+        ):
+            return term
+        return Elim(term.ind, motive, tuple(cases), scrut)
     return term
 
 

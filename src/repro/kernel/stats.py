@@ -1,0 +1,141 @@
+"""Kernel-wide instrumentation counters (:class:`KernelStats`).
+
+The paper reports that Pumpkin Pi needed aggressive caching — "even
+caching intermediate subterms" (Section 4.4) — to stay inside the ~10 s
+an industrial proof engineer will tolerate.  This module is the
+observability half of that story: every cache layer in the kernel
+(term interning, the de Bruijn memo tables, the environment-scoped
+reduction cache) reports hits and misses here so the caching ablation
+benchmarks can measure effectiveness the way the paper's ablation does.
+
+All counters are process-global because the term arena itself is
+process-global; :attr:`repro.kernel.env.Environment.kernel_stats`
+exposes the same singleton for convenience.
+
+Setting the environment variable ``REPRO_DISABLE_KERNEL_CACHES=1``
+before import disables every cache layer at once (the ablation's "off"
+configuration); all layers are behaviour-transparent, so the system
+produces identical terms either way.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+
+#: True when the ablation switch was flipped via the environment.
+CACHES_DISABLED_BY_ENV: bool = os.environ.get(
+    "REPRO_DISABLE_KERNEL_CACHES", ""
+) not in ("", "0")
+
+
+class CacheCounter:
+    """Hit/miss counters for one memo table."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheCounter(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.1%})"
+        )
+
+
+class KernelStats:
+    """Counters for every caching layer in the kernel.
+
+    * ``constructions`` — term constructor invocations that consulted the
+      intern table (the arena's total traffic);
+    * ``intern_hits`` — constructions answered with an existing node
+      (structural sharing won);
+    * one :class:`CacheCounter` per memo table, created on demand:
+      ``lift``, ``subst``, ``free_rels`` (de Bruijn ops), ``whnf``,
+      ``nf`` (reduction cache), ``conv`` (conversion), ``infer``
+      (type inference).
+    """
+
+    __slots__ = ("constructions", "intern_hits", "tables")
+
+    def __init__(self) -> None:
+        self.constructions = 0
+        self.intern_hits = 0
+        self.tables: Dict[str, CacheCounter] = {}
+
+    def counter(self, name: str) -> CacheCounter:
+        """The counter for memo table ``name`` (created on first use)."""
+        table = self.tables.get(name)
+        if table is None:
+            table = self.tables[name] = CacheCounter()
+        return table
+
+    @property
+    def intern_hit_rate(self) -> float:
+        if not self.constructions:
+            return 0.0
+        return self.intern_hits / self.constructions
+
+    def reset(self) -> None:
+        """Zero every counter (the tables themselves are kept)."""
+        self.constructions = 0
+        self.intern_hits = 0
+        for table in self.tables.values():
+            table.reset()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable copy of all counters."""
+        return {
+            "constructions": self.constructions,
+            "intern_hits": self.intern_hits,
+            "intern_hit_rate": round(self.intern_hit_rate, 4),
+            "tables": {
+                name: {
+                    "hits": c.hits,
+                    "misses": c.misses,
+                    "hit_rate": round(c.hit_rate, 4),
+                }
+                for name, c in sorted(self.tables.items())
+            },
+        }
+
+    def report(self) -> str:
+        """A human-readable multi-line summary."""
+        lines = [
+            f"constructions : {self.constructions}",
+            f"intern hits   : {self.intern_hits} "
+            f"({self.intern_hit_rate:.1%})",
+        ]
+        for name, c in sorted(self.tables.items()):
+            lines.append(
+                f"{name:<13} : {c.hits} hits / {c.misses} misses "
+                f"({c.hit_rate:.1%})"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelStats(constructions={self.constructions}, "
+            f"intern_hits={self.intern_hits}, "
+            f"tables={list(self.tables)})"
+        )
+
+
+#: The process-wide stats singleton used by every kernel cache layer.
+KERNEL_STATS = KernelStats()

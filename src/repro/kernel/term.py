@@ -18,16 +18,141 @@ with two engineering deviations that do not change the calculus:
 
 All terms are immutable and hashable so they can be cached aggressively
 (the paper emphasizes caching for performance, Section 4.4).
+
+Performance architecture (see DESIGN.md, "Performance architecture"):
+
+* **Hash consing.**  Every constructor call consults a process-wide
+  intern table, so structurally equal terms built with the same display
+  names are pointer-identical.  Identity makes cache keys O(1) to
+  compare, maximizes sharing, and lets the rebuilders below return their
+  input unchanged when no child changed.  Interning is a pure
+  optimization: no code may rely on ``is`` for *correctness*, only for
+  speed, because the arena is capped and can be cleared at any time.
+* **Cached free-variable bounds.**  :func:`max_free_rel` lazily computes
+  and caches, per node, the smallest ``n`` such that the term is closed
+  under ``n`` binders.  ``lift``/``subst``/``free_rels`` use it to
+  short-circuit on closed subtrees — the overwhelmingly common case for
+  library terms — without walking them.
+* **Memoized de Bruijn ops.**  ``lift`` and ``subst`` memoize per-node
+  results in global tables keyed by ``(node, parameters)``; hash-consing
+  makes those keys cheap and hit rates high.  ``free_rels`` memoizes
+  whole-call results.
+* **Explicit-stack traversal.**  The hot walks (``lift``, ``subst``,
+  ``free_rels``, ``max_free_rel``) use an explicit stack, so terms
+  thousands of binders deep do not hit Python's recursion limit.
+
+Every layer has an ``enabled`` switch (mirroring the caching ablation of
+Section 4.4): :func:`set_hash_consing`, :func:`set_term_memo`, and the
+``REPRO_DISABLE_KERNEL_CACHES`` environment variable which turns
+everything off at import time.  :data:`repro.kernel.stats.KERNEL_STATS`
+counts constructions, intern hits, and memo hits/misses per table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .stats import CACHES_DISABLED_BY_ENV, KERNEL_STATS
 
 
 class TermError(Exception):
     """Raised on malformed terms or misuse of term-level operations."""
+
+
+# ---------------------------------------------------------------------------
+# The term arena (hash consing)
+# ---------------------------------------------------------------------------
+#
+# The intern table maps structural keys (class + field values, including
+# display names so shared nodes never change how they print) to the
+# canonical node.  It holds strong references; the cap below bounds
+# memory, and clearing it is always safe because nothing relies on
+# pointer identity for correctness.
+
+_INTERN: Dict[tuple, "Term"] = {}
+_INTERN_MAX = 1 << 20
+
+_intern_enabled: bool = not CACHES_DISABLED_BY_ENV
+_memo_enabled: bool = not CACHES_DISABLED_BY_ENV
+
+
+def set_hash_consing(enabled: bool) -> bool:
+    """Enable/disable term interning; returns the previous setting.
+
+    Disabling does not clear the arena: already-interned nodes stay
+    shared, new constructions simply allocate fresh nodes.
+    """
+    global _intern_enabled
+    previous = _intern_enabled
+    _intern_enabled = enabled
+    return previous
+
+
+def hash_consing_enabled() -> bool:
+    return _intern_enabled
+
+
+def set_term_memo(enabled: bool) -> bool:
+    """Enable/disable the lift/subst/free_rels memo tables."""
+    global _memo_enabled
+    previous = _memo_enabled
+    _memo_enabled = enabled
+    return previous
+
+
+def term_memo_enabled() -> bool:
+    return _memo_enabled
+
+
+# Memo tables living in other kernel modules (case_type, beta_reduce)
+# register themselves here so one call drops every term-keyed cache.
+_EXTRA_CACHES: List[dict] = []
+
+
+def register_term_cache(cache: dict) -> dict:
+    """Register an external term-keyed memo for :func:`clear_term_caches`."""
+    _EXTRA_CACHES.append(cache)
+    return cache
+
+
+def clear_term_caches() -> None:
+    """Drop the intern table and every term-keyed memo table."""
+    _INTERN.clear()
+    _LIFT_MEMO.clear()
+    _SUBST_MEMO.clear()
+    _FREE_MEMO.clear()
+    for cache in _EXTRA_CACHES:
+        cache.clear()
+
+
+def intern_table_size() -> int:
+    return len(_INTERN)
+
+
+def _interned(key: tuple, cls) -> "Term":
+    """Return the canonical node for ``key``, allocating if needed.
+
+    Composite keys identify child terms by ``id()``, not equality:
+    term equality ignores binder display names, so an equality-based
+    key would unify e.g. ``App(Lam("x", ...), a)`` with
+    ``App(Lam("k", ...), a)`` — and the dataclass ``__init__`` re-run
+    on the shared node would overwrite its fields in place, silently
+    renaming binders of every term sharing that node.  With identity
+    keys a hit guarantees the children are the very same objects (the
+    interned node keeps them alive, so their ids cannot be recycled),
+    making the ``__init__`` re-run write back identical values.
+    """
+    stats = KERNEL_STATS
+    stats.constructions += 1
+    cached = _INTERN.get(key)
+    if cached is not None:
+        stats.intern_hits += 1
+        return cached
+    node = object.__new__(cls)
+    if len(_INTERN) < _INTERN_MAX:
+        _INTERN[key] = node
+    return node
 
 
 @dataclass(frozen=True)
@@ -53,7 +178,7 @@ class Term:
 
     def is_closed(self) -> bool:
         """Return True when the term has no free de Bruijn variables."""
-        return not free_rels(self)
+        return max_free_rel(self) == 0
 
 
 @dataclass(frozen=True)
@@ -62,6 +187,14 @@ class Rel(Term):
 
     __slots__ = ("index",)
     index: int
+
+    def __new__(cls, index=None):
+        if not _intern_enabled or index is None:
+            return object.__new__(cls)
+        try:
+            return _interned((cls, index), cls)
+        except TypeError:
+            return object.__new__(cls)
 
     def __repr__(self) -> str:
         return f"Rel({self.index})"
@@ -77,6 +210,14 @@ class Sort(Term):
 
     __slots__ = ("level",)
     level: int
+
+    def __new__(cls, level=None):
+        if not _intern_enabled or level is None:
+            return object.__new__(cls)
+        try:
+            return _interned((cls, level), cls)
+        except TypeError:
+            return object.__new__(cls)
 
     @property
     def is_prop(self) -> bool:
@@ -111,12 +252,22 @@ class Pi(Term):
     """Dependent product ``forall (name : domain), codomain``.
 
     The binder name is a display hint only: terms compare and hash up to
-    alpha-equivalence (de Bruijn representation makes this free).
+    alpha-equivalence (de Bruijn representation makes this free).  The
+    intern key *does* include the name, so sharing never changes how a
+    term pretty-prints.
     """
 
     name: str = field(compare=False)
     domain: Term = field(compare=True)
     codomain: Term = field(compare=True)
+
+    def __new__(cls, name=None, domain=None, codomain=None):
+        if not _intern_enabled or codomain is None:
+            return object.__new__(cls)
+        try:
+            return _interned((cls, name, id(domain), id(codomain)), cls)
+        except TypeError:
+            return object.__new__(cls)
 
     def subterms(self) -> Iterator[Term]:
         yield self.domain
@@ -134,6 +285,14 @@ class Lam(Term):
     domain: Term = field(compare=True)
     body: Term = field(compare=True)
 
+    def __new__(cls, name=None, domain=None, body=None):
+        if not _intern_enabled or body is None:
+            return object.__new__(cls)
+        try:
+            return _interned((cls, name, id(domain), id(body)), cls)
+        except TypeError:
+            return object.__new__(cls)
+
     def subterms(self) -> Iterator[Term]:
         yield self.domain
         yield self.body
@@ -145,6 +304,14 @@ class App(Term):
 
     fn: Term
     arg: Term
+
+    def __new__(cls, fn=None, arg=None):
+        if not _intern_enabled or arg is None:
+            return object.__new__(cls)
+        try:
+            return _interned((cls, id(fn), id(arg)), cls)
+        except TypeError:
+            return object.__new__(cls)
 
     def subterms(self) -> Iterator[Term]:
         yield self.fn
@@ -158,6 +325,14 @@ class Const(Term):
     __slots__ = ("name",)
     name: str
 
+    def __new__(cls, name=None):
+        if not _intern_enabled or name is None:
+            return object.__new__(cls)
+        try:
+            return _interned((cls, name), cls)
+        except TypeError:
+            return object.__new__(cls)
+
     def __repr__(self) -> str:
         return f"Const({self.name!r})"
 
@@ -168,6 +343,14 @@ class Ind(Term):
 
     __slots__ = ("name",)
     name: str
+
+    def __new__(cls, name=None):
+        if not _intern_enabled or name is None:
+            return object.__new__(cls)
+        try:
+            return _interned((cls, name), cls)
+        except TypeError:
+            return object.__new__(cls)
 
     def __repr__(self) -> str:
         return f"Ind({self.name!r})"
@@ -180,6 +363,14 @@ class Constr(Term):
     __slots__ = ("ind", "index")
     ind: str
     index: int
+
+    def __new__(cls, ind=None, index=None):
+        if not _intern_enabled or index is None:
+            return object.__new__(cls)
+        try:
+            return _interned((cls, ind, index), cls)
+        except TypeError:
+            return object.__new__(cls)
 
     def __repr__(self) -> str:
         return f"Constr({self.ind!r}, {self.index})"
@@ -198,6 +389,23 @@ class Elim(Term):
     cases: Tuple[Term, ...]
     scrut: Term
 
+    def __new__(cls, ind=None, motive=None, cases=None, scrut=None):
+        if not _intern_enabled or scrut is None:
+            return object.__new__(cls)
+        try:
+            return _interned(
+                (
+                    cls,
+                    ind,
+                    id(motive),
+                    tuple(id(c) for c in cases),
+                    id(scrut),
+                ),
+                cls,
+            )
+        except TypeError:
+            return object.__new__(cls)
+
     def __post_init__(self) -> None:
         if not isinstance(self.cases, tuple):
             object.__setattr__(self, "cases", tuple(self.cases))
@@ -208,20 +416,19 @@ class Elim(Term):
         yield self.scrut
 
 
-# ---------------------------------------------------------------------------
-# Spine helpers
-# ---------------------------------------------------------------------------
+#: Leaf node classes: no subterms, trivially closed (except Rel).
+_LEAVES = (Sort, Const, Ind, Constr)
 
 
 # ---------------------------------------------------------------------------
 # Hash caching
 # ---------------------------------------------------------------------------
 #
-# Terms are hashed constantly (transformation caches, matching tables).
-# The dataclass-generated __hash__ walks the whole tree on every call;
-# we wrap it so each node computes its hash once.  Children are hashed
-# through the same wrapper, so a tree is hashed in O(size) total and O(1)
-# afterwards.
+# Terms are hashed constantly (transformation caches, matching tables,
+# the intern table itself).  The dataclass-generated __hash__ walks the
+# whole tree on every call; we wrap it so each node computes its hash
+# once.  Children are hashed through the same wrapper, so a tree is
+# hashed in O(size) total and O(1) afterwards.
 
 
 def _install_cached_hash(cls) -> None:
@@ -231,10 +438,31 @@ def _install_cached_hash(cls) -> None:
         try:
             return object.__getattribute__(self, "_hash_cache")
         except AttributeError:
-            value = generated(self)
-            object.__setattr__(self, "_hash_cache", value)
-            return value
+            pass
+        # Fill caches bottom-up with an explicit stack so hashing a
+        # deeply nested term cannot overflow the recursion limit: the
+        # generated hash of a node only recurses one level once every
+        # child already carries a cache.
+        stack = [self]
+        while stack:
+            node = stack[-1]
+            pending = [
+                child
+                for child in node.subterms()
+                if not isinstance(child, (Rel, *_LEAVES))
+                and not hasattr(child, "_hash_cache")
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            if not hasattr(node, "_hash_cache"):
+                object.__setattr__(
+                    node, "_hash_cache", type(node).__dict__["_gen_hash"](node)
+                )
+        return object.__getattribute__(self, "_hash_cache")
 
+    cls._gen_hash = generated
     cls.__hash__ = cached_hash
 
 
@@ -243,6 +471,76 @@ def _install_cached_hash(cls) -> None:
 for _cls in (Pi, Lam, App, Elim):
     _install_cached_hash(_cls)
 del _cls
+
+
+# ---------------------------------------------------------------------------
+# Free-variable bounds (cached per node)
+# ---------------------------------------------------------------------------
+
+
+def _mfr_of(term: Term) -> Optional[int]:
+    """The cached bound for ``term``, or None when not yet computed."""
+    if isinstance(term, Rel):
+        return term.index + 1
+    if isinstance(term, _LEAVES):
+        return 0
+    return getattr(term, "_mfr", None)
+
+
+def _combine_mfr(term: Term) -> int:
+    """Bound for a composite node whose children are all computed."""
+    if isinstance(term, App):
+        return max(_mfr_of(term.fn), _mfr_of(term.arg))
+    if isinstance(term, Lam):
+        return max(_mfr_of(term.domain), _mfr_of(term.body) - 1, 0)
+    if isinstance(term, Pi):
+        return max(_mfr_of(term.domain), _mfr_of(term.codomain) - 1, 0)
+    if isinstance(term, Elim):
+        bound = max(_mfr_of(term.motive), _mfr_of(term.scrut))
+        for case in term.cases:
+            case_bound = _mfr_of(case)
+            if case_bound > bound:
+                bound = case_bound
+        return bound
+    raise TermError(f"max_free_rel: unknown term {term!r}")
+
+
+def max_free_rel(term: Term) -> int:
+    """Smallest ``n`` such that ``term`` is closed under ``n`` binders.
+
+    Equivalently ``1 + max(free_rels(term))``, or 0 for a closed term.
+    The value is computed once per node (iteratively, so deep terms are
+    safe) and cached on the node itself; hash-consing makes the cache
+    hit for every structurally repeated subterm.
+    """
+    if isinstance(term, Rel):
+        return term.index + 1
+    if isinstance(term, _LEAVES):
+        return 0
+    cached = getattr(term, "_mfr", None)
+    if cached is not None:
+        return cached
+    stack = [term]
+    while stack:
+        t = stack[-1]
+        pending = [
+            child
+            for child in t.subterms()
+            if not isinstance(child, Rel)
+            and not isinstance(child, _LEAVES)
+            and getattr(child, "_mfr", None) is None
+        ]
+        if pending:
+            stack.extend(pending)
+        else:
+            object.__setattr__(t, "_mfr", _combine_mfr(t))
+            stack.pop()
+    return term._mfr
+
+
+# ---------------------------------------------------------------------------
+# Spine helpers
+# ---------------------------------------------------------------------------
 
 
 def mk_app(fn: Term, args: Sequence[Term]) -> Term:
@@ -300,47 +598,146 @@ def unfold_lams(term: Term) -> Tuple[Tuple[Tuple[str, Term], ...], Term]:
 # ---------------------------------------------------------------------------
 # De Bruijn operations: lifting and substitution
 # ---------------------------------------------------------------------------
+#
+# Both operations share one explicit-stack rebuilder parameterized by a
+# leaf action on free Rels.  The rebuilder short-circuits any subtree
+# closed under the current cutoff, reuses the input node when no child
+# changed, and memoizes per-node results (each subtree's rewrite depends
+# only on the node, the operation parameter, and the cutoff).
+
+_LIFT_MEMO: Dict[tuple, Term] = {}
+_SUBST_MEMO: Dict[tuple, Term] = {}
+_FREE_MEMO: Dict[tuple, frozenset] = {}
+_MEMO_MAX = 1 << 20
+
+_LIFT_COUNTER = KERNEL_STATS.counter("lift")
+_SUBST_COUNTER = KERNEL_STATS.counter("subst")
+_FREE_COUNTER = KERNEL_STATS.counter("free_rels")
+
+_VISIT, _BUILD = 0, 1
+
+
+def _transform_rels(
+    term: Term,
+    cutoff: int,
+    on_rel: Callable[[int, int], Term],
+    memo: Optional[Dict[tuple, Term]] = None,
+    extra: object = None,
+    counter=None,
+) -> Term:
+    """Rewrite every free ``Rel`` in ``term`` via ``on_rel(index, cut)``.
+
+    ``cut`` is ``cutoff`` plus the number of binders crossed; ``on_rel``
+    is only called with ``index >= cut``.  Subtrees with
+    ``max_free_rel <= cut`` are returned unchanged, as is any node whose
+    children all come back identical.  ``memo`` (when given) caches
+    per-node results under ``(id(node), extra, cut)`` — object identity
+    rather than equality, because equality ignores binder display names
+    and a structural key could hand an equal-but-differently-named
+    result back, silently renaming the caller's binders.  Hash consing
+    makes equal same-named terms pointer-identical, so identity keys
+    still hit; the value pins the node (and a term-valued ``extra``) so
+    ids are never recycled while the entry lives.
+    """
+    extra_key = id(extra) if isinstance(extra, Term) else extra
+    stack = [(_VISIT, term, cutoff)]
+    results: list = []
+    while stack:
+        tag, t, cut = stack.pop()
+        if tag == _VISIT:
+            if isinstance(t, Rel):
+                results.append(on_rel(t.index, cut) if t.index >= cut else t)
+                continue
+            if isinstance(t, _LEAVES):
+                results.append(t)
+                continue
+            if max_free_rel(t) <= cut:
+                results.append(t)
+                continue
+            if memo is not None:
+                entry = memo.get((id(t), extra_key, cut))
+                if entry is not None:
+                    counter.hits += 1
+                    results.append(entry[-1])
+                    continue
+                counter.misses += 1
+            stack.append((_BUILD, t, cut))
+            if isinstance(t, App):
+                stack.append((_VISIT, t.arg, cut))
+                stack.append((_VISIT, t.fn, cut))
+            elif isinstance(t, Lam):
+                stack.append((_VISIT, t.body, cut + 1))
+                stack.append((_VISIT, t.domain, cut))
+            elif isinstance(t, Pi):
+                stack.append((_VISIT, t.codomain, cut + 1))
+                stack.append((_VISIT, t.domain, cut))
+            elif isinstance(t, Elim):
+                stack.append((_VISIT, t.scrut, cut))
+                for case in reversed(t.cases):
+                    stack.append((_VISIT, case, cut))
+                stack.append((_VISIT, t.motive, cut))
+            else:
+                raise TermError(f"unknown term {t!r}")
+        else:  # _BUILD: children results are on the results stack
+            if isinstance(t, App):
+                arg = results.pop()
+                fn = results.pop()
+                out = t if (fn is t.fn and arg is t.arg) else App(fn, arg)
+            elif isinstance(t, Lam):
+                body = results.pop()
+                domain = results.pop()
+                out = (
+                    t
+                    if (domain is t.domain and body is t.body)
+                    else Lam(t.name, domain, body)
+                )
+            elif isinstance(t, Pi):
+                codomain = results.pop()
+                domain = results.pop()
+                out = (
+                    t
+                    if (domain is t.domain and codomain is t.codomain)
+                    else Pi(t.name, domain, codomain)
+                )
+            else:  # Elim
+                scrut = results.pop()
+                cases = [results.pop() for _ in t.cases]
+                cases.reverse()
+                motive = results.pop()
+                if (
+                    motive is t.motive
+                    and scrut is t.scrut
+                    and all(a is b for a, b in zip(cases, t.cases))
+                ):
+                    out = t
+                else:
+                    out = Elim(t.ind, motive, tuple(cases), scrut)
+            if memo is not None:
+                if len(memo) >= _MEMO_MAX:
+                    memo.clear()
+                # The value pins the key's referents so their ids stay
+                # valid for the lifetime of the entry.
+                memo[(id(t), extra_key, cut)] = (t, extra, out)
+            results.append(out)
+    return results[0]
 
 
 def lift(term: Term, amount: int, cutoff: int = 0) -> Term:
     """Shift free variables ``>= cutoff`` by ``amount``."""
-    if amount == 0:
+    if amount == 0 or max_free_rel(term) <= cutoff:
         return term
-    return _lift(term, amount, cutoff)
 
+    def on_rel(index: int, cut: int) -> Term:
+        new_index = index + amount
+        if new_index < 0:
+            raise TermError("lift produced a negative de Bruijn index")
+        return Rel(new_index)
 
-def _lift(term: Term, amount: int, cutoff: int) -> Term:
-    if isinstance(term, Rel):
-        if term.index >= cutoff:
-            new_index = term.index + amount
-            if new_index < 0:
-                raise TermError("lift produced a negative de Bruijn index")
-            return Rel(new_index)
-        return term
-    if isinstance(term, (Sort, Const, Ind, Constr)):
-        return term
-    if isinstance(term, App):
-        return App(_lift(term.fn, amount, cutoff), _lift(term.arg, amount, cutoff))
-    if isinstance(term, Lam):
-        return Lam(
-            term.name,
-            _lift(term.domain, amount, cutoff),
-            _lift(term.body, amount, cutoff + 1),
+    if _memo_enabled:
+        return _transform_rels(
+            term, cutoff, on_rel, _LIFT_MEMO, amount, _LIFT_COUNTER
         )
-    if isinstance(term, Pi):
-        return Pi(
-            term.name,
-            _lift(term.domain, amount, cutoff),
-            _lift(term.codomain, amount, cutoff + 1),
-        )
-    if isinstance(term, Elim):
-        return Elim(
-            term.ind,
-            _lift(term.motive, amount, cutoff),
-            tuple(_lift(case, amount, cutoff) for case in term.cases),
-            _lift(term.scrut, amount, cutoff),
-        )
-    raise TermError(f"lift: unknown term {term!r}")
+    return _transform_rels(term, cutoff, on_rel)
 
 
 def subst(term: Term, replacement: Term, index: int = 0) -> Term:
@@ -349,43 +746,19 @@ def subst(term: Term, replacement: Term, index: int = 0) -> Term:
     Variables above ``index`` are shifted down by one, implementing the
     standard beta-substitution discipline.
     """
-    return _subst(term, replacement, index)
-
-
-def _subst(term: Term, replacement: Term, index: int) -> Term:
-    if isinstance(term, Rel):
-        if term.index == index:
-            return lift(replacement, index)
-        if term.index > index:
-            return Rel(term.index - 1)
+    if max_free_rel(term) <= index:
         return term
-    if isinstance(term, (Sort, Const, Ind, Constr)):
-        return term
-    if isinstance(term, App):
-        return App(
-            _subst(term.fn, replacement, index),
-            _subst(term.arg, replacement, index),
+
+    def on_rel(i: int, cut: int) -> Term:
+        if i == cut:
+            return lift(replacement, cut)
+        return Rel(i - 1)
+
+    if _memo_enabled:
+        return _transform_rels(
+            term, index, on_rel, _SUBST_MEMO, replacement, _SUBST_COUNTER
         )
-    if isinstance(term, Lam):
-        return Lam(
-            term.name,
-            _subst(term.domain, replacement, index),
-            _subst(term.body, replacement, index + 1),
-        )
-    if isinstance(term, Pi):
-        return Pi(
-            term.name,
-            _subst(term.domain, replacement, index),
-            _subst(term.codomain, replacement, index + 1),
-        )
-    if isinstance(term, Elim):
-        return Elim(
-            term.ind,
-            _subst(term.motive, replacement, index),
-            tuple(_subst(case, replacement, index) for case in term.cases),
-            _subst(term.scrut, replacement, index),
-        )
-    raise TermError(f"subst: unknown term {term!r}")
+    return _transform_rels(term, index, on_rel)
 
 
 def subst_many(term: Term, replacements: Sequence[Term]) -> Term:
@@ -394,12 +767,25 @@ def subst_many(term: Term, replacements: Sequence[Term]) -> Term:
     All replacements are substituted simultaneously: ``replacements[i]``
     replaces ``Rel(i)`` and free variables above ``len(replacements)`` are
     shifted down accordingly.  Each replacement is interpreted in the
-    context *outside* all the substituted binders.
+    context *outside* all the substituted binders, so a replacement that
+    mentions a ``Rel`` is never itself rewritten by a later substitution
+    (one-pass parallel substitution, unlike a sequential fold of
+    :func:`subst`).
     """
-    result = term
-    for replacement in replacements:
-        result = subst(result, replacement, 0)
-    return result
+    replacements = tuple(replacements)
+    if not replacements:
+        return term
+    count = len(replacements)
+    if max_free_rel(term) == 0:
+        return term
+
+    def on_rel(i: int, cut: int) -> Term:
+        j = i - cut
+        if j < count:
+            return lift(replacements[j], cut)
+        return Rel(i - count)
+
+    return _transform_rels(term, 0, on_rel)
 
 
 def free_rels(term: Term, cutoff: int = 0) -> frozenset:
@@ -409,37 +795,48 @@ def free_rels(term: Term, cutoff: int = 0) -> frozenset:
     the term is viewed under ``cutoff`` extra binders; with the default
     cutoff this is simply the set of free indices.
     """
-    out: set[int] = set()
-    _free_rels(term, cutoff, out)
-    return frozenset(out)
-
-
-def _free_rels(term: Term, cutoff: int, out: set) -> None:
-    if isinstance(term, Rel):
-        if term.index >= cutoff:
-            out.add(term.index - cutoff)
-        return
-    if isinstance(term, (Sort, Const, Ind, Constr)):
-        return
-    if isinstance(term, App):
-        _free_rels(term.fn, cutoff, out)
-        _free_rels(term.arg, cutoff, out)
-        return
-    if isinstance(term, Lam):
-        _free_rels(term.domain, cutoff, out)
-        _free_rels(term.body, cutoff + 1, out)
-        return
-    if isinstance(term, Pi):
-        _free_rels(term.domain, cutoff, out)
-        _free_rels(term.codomain, cutoff + 1, out)
-        return
-    if isinstance(term, Elim):
-        _free_rels(term.motive, cutoff, out)
-        for case in term.cases:
-            _free_rels(case, cutoff, out)
-        _free_rels(term.scrut, cutoff, out)
-        return
-    raise TermError(f"free_rels: unknown term {term!r}")
+    if max_free_rel(term) <= cutoff:
+        return frozenset()
+    key = None
+    if _memo_enabled:
+        key = (term, cutoff)
+        cached = _FREE_MEMO.get(key)
+        if cached is not None:
+            _FREE_COUNTER.hits += 1
+            return cached
+        _FREE_COUNTER.misses += 1
+    out: set = set()
+    stack = [(term, cutoff)]
+    while stack:
+        t, cut = stack.pop()
+        if isinstance(t, Rel):
+            if t.index >= cut:
+                out.add(t.index - cut)
+            continue
+        if isinstance(t, _LEAVES) or max_free_rel(t) <= cut:
+            continue
+        if isinstance(t, App):
+            stack.append((t.fn, cut))
+            stack.append((t.arg, cut))
+        elif isinstance(t, Lam):
+            stack.append((t.domain, cut))
+            stack.append((t.body, cut + 1))
+        elif isinstance(t, Pi):
+            stack.append((t.domain, cut))
+            stack.append((t.codomain, cut + 1))
+        elif isinstance(t, Elim):
+            stack.append((t.motive, cut))
+            for case in t.cases:
+                stack.append((case, cut))
+            stack.append((t.scrut, cut))
+        else:
+            raise TermError(f"free_rels: unknown term {t!r}")
+    result = frozenset(out)
+    if key is not None:
+        if len(_FREE_MEMO) >= _MEMO_MAX:
+            _FREE_MEMO.clear()
+        _FREE_MEMO[key] = result
+    return result
 
 
 def occurs_rel(term: Term, index: int) -> bool:
@@ -533,9 +930,12 @@ def _replace_closed(term: Term, old: Term, new: Term, cutoff: int) -> Term:
 
 def count_nodes(term: Term) -> int:
     """Return the number of AST nodes in ``term`` (a size metric)."""
-    total = 1
-    for sub in term.subterms():
-        total += count_nodes(sub)
+    total = 0
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        total += 1
+        stack.extend(t.subterms())
     return total
 
 
@@ -545,32 +945,26 @@ def mentions_global(term: Term, name: str) -> bool:
     Checks constants, inductive references, constructors, and eliminators.
     Used by repair to verify that the old type was fully removed.
     """
-    if isinstance(term, Const) and term.name == name:
-        return True
-    if isinstance(term, Ind) and term.name == name:
-        return True
-    if isinstance(term, Constr) and term.ind == name:
-        return True
-    if isinstance(term, Elim) and term.ind == name:
-        return True
-    return any(mentions_global(sub, name) for sub in term.subterms())
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, (Const, Ind)) and t.name == name:
+            return True
+        if isinstance(t, (Constr, Elim)) and t.ind == name:
+            return True
+        stack.extend(t.subterms())
+    return False
 
 
 def collect_globals(term: Term) -> frozenset:
     """Return the set of global names referenced by ``term``."""
-    out: set[str] = set()
-    _collect_globals(term, out)
+    out: set = set()
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, (Const, Ind)):
+            out.add(t.name)
+        elif isinstance(t, (Constr, Elim)):
+            out.add(t.ind)
+        stack.extend(t.subterms())
     return frozenset(out)
-
-
-def _collect_globals(term: Term, out: set) -> None:
-    if isinstance(term, Const):
-        out.add(term.name)
-    elif isinstance(term, (Ind,)):
-        out.add(term.name)
-    elif isinstance(term, Constr):
-        out.add(term.ind)
-    elif isinstance(term, Elim):
-        out.add(term.ind)
-    for sub in term.subterms():
-        _collect_globals(sub, out)

@@ -24,9 +24,10 @@ from typing import Optional, Tuple
 
 from .context import Context
 from .convert import conv, sub
-from .env import Environment
+from .env import ABSENT, Environment
 from .inductive import case_type
 from .reduce import whnf
+from .stats import KERNEL_STATS
 from .term import (
     App,
     Const,
@@ -50,8 +51,39 @@ class TypeError_(TermError):
     """A type error, carrying a human-readable explanation."""
 
 
+_INFER_COUNTER = KERNEL_STATS.counter("infer")
+_INFER_TAG = "infer"
+
+
 def infer(env: Environment, ctx: Context, term: Term) -> Term:
-    """Infer the type of ``term`` in ``ctx``; raise TypeError_ on failure."""
+    """Infer the type of ``term`` in ``ctx``; raise TypeError_ on failure.
+
+    Successful inferences are memoized in the environment's reduction
+    cache under ``(term, context entries)``: inference is deterministic
+    given the environment, and the cache is invalidated whenever the
+    environment changes non-additively.  Failures are not cached.
+    """
+    # Identity keys (term and context types pinned in the value) keep
+    # the cache name-faithful: a structural key could return a type
+    # whose binder display names came from a different, equal term.
+    cache = env.reduction_cache
+    key = None
+    if cache.enabled and not isinstance(term, (Rel, Sort, Const)):
+        key = (
+            _INFER_TAG,
+            id(term),
+            tuple(id(ty) for _name, ty in ctx.entries),
+        )
+        hit = cache.get(key, _INFER_COUNTER)
+        if hit is not ABSENT:
+            return hit[-1]
+    result = _infer(env, ctx, term)
+    if key is not None:
+        cache.put(key, (term, ctx.entries, result))
+    return result
+
+
+def _infer(env: Environment, ctx: Context, term: Term) -> Term:
     if isinstance(term, Rel):
         return ctx.type_of(term.index)
 
@@ -115,6 +147,8 @@ def _head_beta(term: Term) -> Term:
 def check(env: Environment, ctx: Context, term: Term, expected: Term) -> None:
     """Check ``term`` against ``expected`` (up to cumulativity)."""
     actual = infer(env, ctx, term)
+    if actual is expected:
+        return
     if not sub(env, actual, expected):
         from .pretty import pretty
 

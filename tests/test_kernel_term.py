@@ -169,10 +169,41 @@ class TestSubst:
         # no-op (the classic simplification law).
         assert subst(lift(term, 1), value, 0) == term
 
-    def test_subst_many_is_sequential(self):
+    def test_subst_many_closed_replacements(self):
         term = App(Rel(0), Rel(1))
         result = subst_many(term, [Const("a"), Const("b")])
         assert result == App(Const("a"), Const("b"))
+
+    def test_subst_many_is_simultaneous(self):
+        # replacements[0] mentions Rel(0) of the *outer* context; a
+        # sequential fold of subst would capture it when substituting
+        # replacements[1] (yielding App(Const("b"), Const("b"))).
+        term = App(Rel(0), Rel(1))
+        result = subst_many(term, [Rel(0), Const("b")])
+        assert result == App(Rel(0), Const("b"))
+
+    def test_subst_many_interdependent_chain(self):
+        # Each replacement mentions rels of the outer context; none may
+        # be rewritten by the others.
+        term = mk_app(Const("f"), [Rel(0), Rel(1), Rel(2)])
+        result = subst_many(term, [Rel(1), Rel(0)])
+        # Rel(0) -> Rel(1), Rel(1) -> Rel(0), Rel(2) -> shifted down by 2.
+        assert result == mk_app(Const("f"), [Rel(1), Rel(0), Rel(0)])
+
+    def test_subst_many_under_binder(self):
+        # Under one binder the replacements must be lifted past it.
+        term = Lam("x", SET, App(Rel(0), Rel(1)))
+        result = subst_many(term, [Rel(0)])
+        assert result == Lam("x", SET, App(Rel(0), Rel(1)))
+
+    def test_subst_many_matches_iterated_subst_when_closed(self):
+        # For closed replacements, parallel == sequential.
+        term = mk_app(Const("f"), [Rel(0), Rel(1), Rel(5)])
+        reps = [Const("a"), Const("b")]
+        sequential = term
+        for rep in reps:
+            sequential = subst(sequential, rep, 0)
+        assert subst_many(term, reps) == sequential
 
 
 # ---------------------------------------------------------------------------
