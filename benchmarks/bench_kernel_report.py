@@ -4,8 +4,15 @@ Runs the replica and binary case studies with all kernel performance
 layers enabled and disabled, recording wall time per configuration and
 the :data:`~repro.kernel.stats.KERNEL_STATS` snapshot of the enabled
 run (intern hits, per-table memo hit rates, reduction-cache hit rates).
-CI uploads the resulting JSON as an artifact so regressions in the
-caching layers show up as a dropping speedup multiplier.
+CI uploads the resulting JSON as an artifact and diffs it against the
+committed baseline with ``check_regression.py``, so regressions in the
+caching layers fail the job instead of silently dropping the speedup
+multiplier.
+
+The output uses the shared report envelope of :mod:`report_schema`
+(timestamp, git sha, flat per-phase entries); a failed case or
+malformed results exit non-zero without writing anything — the write
+is validated first and atomic.
 
 Usage::
 
@@ -14,9 +21,10 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import sys
 import time
+
+from report_schema import make_report, write_report
 
 from repro.kernel.env import set_reduction_cache_default
 from repro.kernel.stats import KERNEL_STATS
@@ -25,7 +33,6 @@ from repro.kernel.term import (
     set_hash_consing,
     set_term_memo,
 )
-
 
 CASES = ("replica", "binary")
 
@@ -53,40 +60,55 @@ def _measure(case: str, enabled: bool) -> dict:
     start = time.perf_counter()
     _run_case(case)
     elapsed = time.perf_counter() - start
-    entry = {"wall_time_s": round(elapsed, 4), "layers_enabled": enabled}
+    entry = {
+        "count": 1,
+        "wall_time_s": round(elapsed, 4),
+        "layers_enabled": enabled,
+    }
     if enabled:
-        entry["kernel_stats"] = KERNEL_STATS.snapshot()
+        snapshot = KERNEL_STATS.snapshot()
+        entry["kernel_stats"] = snapshot
+        entry["cache_hit_rates"] = {
+            name: table["hit_rate"]
+            for name, table in snapshot["tables"].items()
+        }
     return entry
 
 
 def build_report() -> dict:
-    report = {"benchmark": "kernel performance layers", "cases": {}}
+    phases: dict = {}
+    speedups: dict = {}
     try:
         for case in CASES:
             on = _measure(case, True)
             off = _measure(case, False)
-            speedup = off["wall_time_s"] / max(on["wall_time_s"], 1e-9)
-            report["cases"][case] = {
-                "layers_on": on,
-                "layers_off": off,
-                "speedup": round(speedup, 2),
-            }
+            speedups[case] = round(
+                off["wall_time_s"] / max(on["wall_time_s"], 1e-9), 2
+            )
+            phases[f"{case}/layers_on"] = on
+            phases[f"{case}/layers_off"] = off
     finally:
         _set_layers(True)
-    return report
+    return make_report(
+        "kernel performance layers", phases, speedups=speedups
+    )
 
 
 def main(argv) -> int:
     out_path = argv[1] if len(argv) > 1 else "BENCH_kernel.json"
-    report = build_report()
-    with open(out_path, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    for case, data in report["cases"].items():
+    try:
+        report = build_report()
+        write_report(out_path, report)
+    except Exception as exc:
+        # A failed case or malformed results must fail the job instead of
+        # leaving a partial report behind (write_report is atomic).
+        print(f"bench_kernel_report: {exc}", file=sys.stderr)
+        return 1
+    for case in CASES:
         print(
-            f"{case}: on {data['layers_on']['wall_time_s']}s, "
-            f"off {data['layers_off']['wall_time_s']}s, "
-            f"speedup {data['speedup']}x"
+            f"{case}: on {report['phases'][f'{case}/layers_on']['wall_time_s']}s, "
+            f"off {report['phases'][f'{case}/layers_off']['wall_time_s']}s, "
+            f"speedup {report['speedups'][case]}x"
         )
     print(f"wrote {out_path}")
     return 0

@@ -1,0 +1,127 @@
+"""Write BENCH_pipeline.json: per-phase wall time and cache hit rates.
+
+Runs the replica, binary, and ornaments case studies with tracing
+forced on and aggregates the recorded spans into flat per-phase entries
+(``<case>/<phase>``) in the shared report schema
+(:mod:`report_schema`), so the CI regression gate can compare runs.
+Optionally also writes the full Chrome trace-event JSON
+(``chrome://tracing`` / Perfetto) for interactive inspection.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_report.py \
+        [OUTPUT.json] [--trace TRACE.json]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from report_schema import make_report, write_report
+
+from repro.kernel.stats import KERNEL_STATS
+from repro.obs import (
+    get_tracer,
+    reset_tracer,
+    set_tracing,
+    span,
+    summarize_spans,
+    write_chrome_trace,
+)
+
+CASES = ("replica", "binary", "ornaments")
+
+
+def _run_case(name: str) -> None:
+    if name == "replica":
+        from repro.cases.replica import run_scenario
+    elif name == "binary":
+        from repro.cases.binary import run_scenario
+    elif name == "ornaments":
+        from repro.cases.ornaments_example import run_scenario
+    else:
+        raise ValueError(f"unknown case {name!r}")
+    run_scenario()
+
+
+def build_report() -> dict:
+    """Run every case traced; return the shared-schema report dict."""
+    previous = set_tracing(True)
+    reset_tracer()
+    phases: dict = {}
+    try:
+        for case in CASES:
+            KERNEL_STATS.reset()
+            with span(case, category="case") as case_span:
+                _run_case(case)
+            phases[f"{case}/total"] = {
+                "count": 1,
+                "wall_time_s": round(case_span.duration_s, 6),
+                "cache_hit_rates": {
+                    table: delta["hit_rate"]
+                    for table, delta in case_span.kernel["tables"].items()
+                },
+            }
+            descendants = [s for s in case_span.walk() if s is not case_span]
+            for phase, entry in summarize_spans(descendants).items():
+                phases[f"{case}/{phase}"] = entry
+    finally:
+        set_tracing(previous)
+    return make_report("pipeline", phases)
+
+
+def print_summary(report: dict) -> None:
+    phases = report["phases"]
+    for case in CASES:
+        print(f"{case}:")
+        names = sorted(
+            (name for name in phases if name.startswith(f"{case}/")),
+            key=lambda name: -phases[name]["wall_time_s"],
+        )
+        for name in names:
+            entry = phases[name]
+            rates = ", ".join(
+                f"{table}={rate:.0%}"
+                for table, rate in sorted(
+                    entry.get("cache_hit_rates", {}).items()
+                )
+            )
+            print(
+                f"  {name.split('/', 1)[1]:<14} "
+                f"{entry['wall_time_s']:8.4f}s  "
+                f"x{entry.get('count', 1):<5} "
+                f"[{rates}]"
+            )
+
+
+def main(argv) -> int:
+    args = list(argv[1:])
+    trace_path = None
+    if "--trace" in args:
+        at = args.index("--trace")
+        try:
+            trace_path = args[at + 1]
+        except IndexError:
+            print("--trace needs a path", file=sys.stderr)
+            return 2
+        del args[at : at + 2]
+    out_path = args[0] if args else "BENCH_pipeline.json"
+
+    try:
+        report = build_report()
+        write_report(out_path, report)
+    except Exception as exc:
+        # A failed case or malformed results must fail the job instead of
+        # leaving a partial report behind (write_report is atomic).
+        print(f"bench_pipeline_report: {exc}", file=sys.stderr)
+        return 1
+    if trace_path is not None:
+        write_chrome_trace(trace_path, get_tracer())
+        print(f"wrote {trace_path}")
+    print_summary(report)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

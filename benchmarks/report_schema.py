@@ -1,0 +1,178 @@
+"""The one JSON schema every BENCH_*.json report shares.
+
+Both report scripts (``bench_kernel_report.py`` and
+``bench_pipeline_report.py``) emit the same envelope so the CI
+regression gate (``check_regression.py``) can diff any pair of reports
+without per-script knowledge::
+
+    {
+      "schema_version": 1,
+      "benchmark": "<name>",
+      "timestamp": "<ISO-8601 UTC>",
+      "git_sha": "<HEAD sha or 'unknown'>",
+      "phases": {
+        "<phase>": {
+          "wall_time_s": <float >= 0>,
+          "count": <int, optional>,
+          "cache_hit_rates": {"<table>": <float in [0, 1]>, ...},
+          ...            # extra keys allowed
+        },
+        ...
+      },
+      ...                # benchmark-specific extras allowed
+    }
+
+:func:`write_report` validates before touching the filesystem and
+writes atomically (tempfile + rename), so a malformed result can never
+leave a partial report on disk — the failure mode the old kernel report
+script had.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import tempfile
+from datetime import datetime, timezone
+from typing import Any, Dict, List
+
+SCHEMA_VERSION = 1
+
+_ENVELOPE_KEYS = ("schema_version", "benchmark", "timestamp", "git_sha", "phases")
+
+
+class ReportError(Exception):
+    """Raised when a report does not conform to the shared schema."""
+
+
+def git_sha() -> str:
+    """The current HEAD sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def utc_timestamp() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def make_report(
+    benchmark: str, phases: Dict[str, Dict[str, Any]], **extra: Any
+) -> Dict[str, Any]:
+    """A report dict in the shared envelope (validate before writing)."""
+    report: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "timestamp": utc_timestamp(),
+        "git_sha": git_sha(),
+        "phases": phases,
+    }
+    report.update(extra)
+    return report
+
+
+def validate_report(report: Any) -> List[str]:
+    """Every way ``report`` violates the schema; empty means valid."""
+    errors: List[str] = []
+    if not isinstance(report, dict):
+        return [f"report must be an object, got {type(report).__name__}"]
+    for key in _ENVELOPE_KEYS:
+        if key not in report:
+            errors.append(f"missing envelope key {key!r}")
+    if report.get("schema_version") not in (None, SCHEMA_VERSION):
+        errors.append(
+            f"schema_version {report['schema_version']!r} != {SCHEMA_VERSION}"
+        )
+    for key in ("benchmark", "timestamp", "git_sha"):
+        value = report.get(key)
+        if key in report and (not isinstance(value, str) or not value):
+            errors.append(f"{key!r} must be a non-empty string, got {value!r}")
+    phases = report.get("phases")
+    if phases is None:
+        return errors
+    if not isinstance(phases, dict):
+        return errors + [
+            f"'phases' must be an object, got {type(phases).__name__}"
+        ]
+    if not phases:
+        errors.append("'phases' is empty — nothing was measured")
+    for name, entry in phases.items():
+        where = f"phases[{name!r}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        wall = entry.get("wall_time_s")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+            errors.append(f"{where}.wall_time_s must be a number, got {wall!r}")
+        elif wall < 0:
+            errors.append(f"{where}.wall_time_s is negative: {wall!r}")
+        count = entry.get("count")
+        if count is not None and (not isinstance(count, int) or count < 0):
+            errors.append(f"{where}.count must be a non-negative int")
+        rates = entry.get("cache_hit_rates", {})
+        if not isinstance(rates, dict):
+            errors.append(f"{where}.cache_hit_rates must be an object")
+            continue
+        for table, rate in rates.items():
+            if (
+                not isinstance(rate, (int, float))
+                or isinstance(rate, bool)
+                or not 0.0 <= rate <= 1.0
+            ):
+                errors.append(
+                    f"{where}.cache_hit_rates[{table!r}] must be in [0, 1], "
+                    f"got {rate!r}"
+                )
+    return errors
+
+
+def write_report(path: str, report: Dict[str, Any]) -> str:
+    """Validate and atomically write ``report`` to ``path``.
+
+    Raises :class:`ReportError` (listing every violation) *before*
+    creating or truncating the output file.
+    """
+    errors = validate_report(report)
+    if errors:
+        raise ReportError(
+            "refusing to write malformed report:\n  " + "\n  ".join(errors)
+        )
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp_", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read and validate a report; raises :class:`ReportError`."""
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReportError(f"cannot read report {path}: {exc}") from exc
+    errors = validate_report(report)
+    if errors:
+        raise ReportError(
+            f"malformed report {path}:\n  " + "\n  ".join(errors)
+        )
+    return report

@@ -12,7 +12,6 @@ Paper claims regenerated:
 
 import time
 
-import pytest
 
 from repro.cases.binary import run_scenario
 from repro.kernel import Const, mk_app, nf

@@ -10,7 +10,6 @@ that re-transforms shared dependencies.
 
 import time
 
-import pytest
 
 from repro.cases.quickstart import setup_environment
 from repro.core.caching import TransformCache

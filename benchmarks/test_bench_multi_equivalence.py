@@ -7,7 +7,6 @@ equivalences in a single pass against the two sequential passes the case
 study uses.
 """
 
-import pytest
 
 from repro.cases.galois import setup_environment
 from repro.core.config import Configuration

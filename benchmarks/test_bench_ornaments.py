@@ -9,7 +9,6 @@ Paper claims regenerated:
 * the full pipeline completes (shape: both steps succeed and check).
 """
 
-import pytest
 
 from repro.cases.ornaments_example import run_scenario
 from repro.core.repair import RepairSession

@@ -11,7 +11,6 @@ Paper claims regenerated:
 
 import time
 
-import pytest
 
 from repro.cases.galois import run_scenario, setup_environment
 from repro.core.repair import RepairSession

@@ -10,12 +10,9 @@ lazily enumerated constructor mappings (24 for Figure 16; first mapping
 of a 30-constructor Enum permutation found without enumerating 30!).
 """
 
-import itertools
 import time
 
 from repro.cases.replica import (
-    VARIANTS,
-    count_type_correct_mappings,
     declare_enum,
     declare_term_language,
     run_scenario,

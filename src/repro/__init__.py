@@ -20,6 +20,7 @@ Quick start::
 See ``examples/quickstart.py`` for the full Section 2 walkthrough.
 """
 
+from .commands import CommandError, CommandResult, CommandSession
 from .core import (
     AlignedSide,
     ConfigError,
@@ -49,6 +50,9 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AlignedSide",
+    "CommandError",
+    "CommandResult",
+    "CommandSession",
     "ConfigError",
     "Configuration",
     "Environment",

@@ -22,7 +22,7 @@ from ..core.config import (
 from ..core.repair import RepairResult, RepairSession
 from ..kernel.env import Environment
 from ..kernel.inductive import ConstructorDecl, InductiveDecl
-from ..kernel.term import Const, Ind, SET
+from ..kernel.term import Ind, SET
 from ..stdlib import make_env
 from ..syntax.parser import parse
 

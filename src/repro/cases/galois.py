@@ -16,7 +16,7 @@ Reconstructs the Galois workflow of Figure 17 on our own substrates:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from ..core.caching import TransformCache
 from ..core.config import Configuration

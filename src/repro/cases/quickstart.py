@@ -19,7 +19,6 @@ from ..core.search.swap import swap_configuration
 from ..decompile.decompiler import decompile_to_script, print_script
 from ..decompile.qtac import Script
 from ..kernel.env import Environment
-from ..kernel.term import Term
 from ..stdlib import declare_list_type, make_env
 
 

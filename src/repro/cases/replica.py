@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.caching import TransformCache
-from ..core.config import Configuration
 from ..core.repair import RepairResult, RepairSession
 from ..core.search.swap import find_constructor_mappings, swap_configuration
 from ..kernel.env import Environment

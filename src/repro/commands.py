@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import shlex
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from .core.caching import TransformCache
 from .core.config import Configuration
@@ -38,7 +38,7 @@ from .core.search import configure
 from .decompile.decompiler import decompile_to_script, print_script
 from .decompile.run import run_script
 from .kernel.env import Environment
-from .kernel.term import Term
+from .obs import span
 
 
 class CommandError(Exception):
@@ -77,20 +77,24 @@ class CommandSession:
         if not words:
             raise CommandError("empty command")
         head = words[0]
-        if head == "Configure":
-            result = self._configure(words[1:], command)
-        elif head == "Repair" and len(words) > 1 and words[1] == "module":
-            result = self._repair_module(words[2:], command)
-        elif head == "Repair":
-            result = self._repair(words[1:], command)
-        elif head == "Decompile":
-            result = self._decompile(words[1:], command)
-        elif head == "Replay":
-            result = self._replay(words[1:], command)
-        elif head == "Remove":
-            result = self._remove(words[1:], command)
-        else:
-            raise CommandError(f"unknown command {head!r}")
+        # Each command gets its own span, so kernel-counter deltas are
+        # attributed per command rather than accumulating across the
+        # session.
+        with span("command", category="command", command=command.strip()):
+            if head == "Configure":
+                result = self._configure(words[1:], command)
+            elif head == "Repair" and len(words) > 1 and words[1] == "module":
+                result = self._repair_module(words[2:], command)
+            elif head == "Repair":
+                result = self._repair(words[1:], command)
+            elif head == "Decompile":
+                result = self._decompile(words[1:], command)
+            elif head == "Replay":
+                result = self._replay(words[1:], command)
+            elif head == "Remove":
+                result = self._remove(words[1:], command)
+            else:
+                raise CommandError(f"unknown command {head!r}")
         self.history.append(result)
         return result
 

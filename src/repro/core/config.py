@@ -36,7 +36,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..kernel.context import Context
-from ..kernel.convert import conv
 from ..kernel.env import Environment
 from ..kernel.reduce import beta_reduce, whnf
 from ..kernel.term import (

@@ -14,16 +14,17 @@ checked to contain no reference to the old globals, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..kernel.context import Context
 from ..kernel.env import Environment
 from ..kernel.term import Term, collect_globals, mentions_global
-from ..kernel.typecheck import check, infer, typecheck_closed
+from ..kernel.typecheck import check, typecheck_closed
+from ..obs import span
 from .caching import TransformCache
 from .config import Configuration
-from .transform import TransformError, Transformer
+from .transform import Transformer
 
 
 class RepairError(Exception):
@@ -74,19 +75,21 @@ class RepairSession:
 
     def repair_term(self, term: Term, expected_type: Optional[Term] = None) -> Term:
         """Transform a closed term, check it, and verify old-type removal."""
-        transformer = Transformer(self.env, self.config, cache=self.cache)
-        result = transformer(term)
-        for old in self.old_globals:
-            if mentions_global(result, old):
-                raise RepairError(
-                    f"repaired term still mentions {old!r}; the "
-                    "configuration's unification heuristics did not cover "
-                    "some occurrence"
-                )
-        if expected_type is not None:
-            check(self.env, Context.empty(), result, expected_type)
-        else:
-            typecheck_closed(self.env, result)
+        with span("repair_term"):
+            transformer = Transformer(self.env, self.config, cache=self.cache)
+            result = transformer(term)
+            for old in self.old_globals:
+                if mentions_global(result, old):
+                    raise RepairError(
+                        f"repaired term still mentions {old!r}; the "
+                        "configuration's unification heuristics did not cover "
+                        "some occurrence"
+                    )
+            with span("typecheck"):
+                if expected_type is not None:
+                    check(self.env, Context.empty(), result, expected_type)
+                else:
+                    typecheck_closed(self.env, result)
         return result
 
     def repair_constant(
@@ -104,18 +107,22 @@ class RepairSession:
         decl = self.env.constant(name)
         if decl.body is None:
             raise RepairError(f"cannot repair bodyless constant {name!r}")
-        transformer = Transformer(self.env, self.config, cache=self.cache)
-        new_type = transformer(decl.type)
-        new_body = transformer(decl.body)
-        for old in self.old_globals:
-            if mentions_global(new_body, old) or mentions_global(new_type, old):
-                raise RepairError(
-                    f"repair of {name!r} left references to {old!r}"
-                )
-        target = new_name or self.rename(name)
-        check(self.env, Context.empty(), new_body, new_type)
-        if define:
-            self.env.define(target, new_body, type=new_type)
+        with span("repair", constant=name):
+            transformer = Transformer(self.env, self.config, cache=self.cache)
+            new_type = transformer(decl.type)
+            new_body = transformer(decl.body)
+            for old in self.old_globals:
+                if mentions_global(new_body, old) or mentions_global(
+                    new_type, old
+                ):
+                    raise RepairError(
+                        f"repair of {name!r} left references to {old!r}"
+                    )
+            target = new_name or self.rename(name)
+            with span("typecheck", constant=name):
+                check(self.env, Context.empty(), new_body, new_type)
+            if define:
+                self.env.define(target, new_body, type=new_type)
         result = RepairResult(
             old_name=name, new_name=target, term=new_body, type=new_type
         )
@@ -171,16 +178,17 @@ class RepairSession:
         self, names: Optional[Iterable[str]] = None
     ) -> List[RepairResult]:
         """Repair every (selected) constant that depends on the old type."""
-        if names is None:
-            names = [
-                name
-                for name in self.env.declaration_order()
-                if self._needs_repair(name)
-            ]
-        results = []
-        for name in names:
-            if self._needs_repair(name):
-                results.append(self.repair_constant(name))
+        with span("repair_module"):
+            if names is None:
+                names = [
+                    name
+                    for name in self.env.declaration_order()
+                    if self._needs_repair(name)
+                ]
+            results = []
+            for name in names:
+                if self._needs_repair(name):
+                    results.append(self.repair_constant(name))
         return results
 
     def remove_old(self) -> None:

@@ -21,10 +21,8 @@ generated and proved automatically, as Devoid does.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ...kernel.env import Environment
-from ...kernel.term import Term
 from ...syntax.parser import parse
 from ..config import AlignedSide, Configuration, Equivalence, TermSide
 

@@ -25,7 +25,6 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from ...kernel.env import Environment
-from ...kernel.term import Term
 from ...syntax.parser import parse
 
 

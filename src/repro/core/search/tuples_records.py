@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ...kernel.context import Context
-from ...kernel.convert import conv
 from ...kernel.env import Environment
 from ...kernel.term import (
     App,
@@ -36,7 +35,6 @@ from ...kernel.term import (
     lift,
     mk_app,
     mk_lams,
-    subst,
     unfold_app,
 )
 from ..config import Configuration, ElimMatch, Equivalence, Side

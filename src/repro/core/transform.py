@@ -20,11 +20,12 @@ Transformed subterms are cached (Section 4.4).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 from ..kernel.context import Context
 from ..kernel.env import Environment
 from ..kernel.reduce import nf
+from ..obs import span, term_depth, term_size, tracing_enabled
 from ..kernel.term import (
     App,
     Const,
@@ -37,9 +38,7 @@ from ..kernel.term import (
     Sort,
     Term,
     TermError,
-    mentions_global,
     mk_app,
-    unfold_app,
 )
 from .caching import TransformCache
 from .config import Configuration, ElimMatch
@@ -84,9 +83,17 @@ class Transformer:
 
     def __call__(self, term: Term) -> Term:
         """Transform a closed term and reduce the result."""
-        result = self.transform(term, Context.empty())
-        if self.reduce_output:
-            result = nf(self.env, result, delta=False)
+        with span("transform") as sp:
+            if tracing_enabled():
+                sp.gauge("term_size_in", term_size(term))
+                sp.gauge("term_depth_in", term_depth(term))
+            result = self.transform(term, Context.empty())
+            if self.reduce_output:
+                with span("reduce"):
+                    result = nf(self.env, result, delta=False)
+            if tracing_enabled():
+                sp.gauge("term_size_out", term_size(result))
+                sp.gauge("term_depth_out", term_depth(result))
         return result
 
     # -- The transformation -----------------------------------------------------

@@ -10,13 +10,13 @@ with Coq-style bullets, exactly as the paper describes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..kernel.context import Context
 from ..kernel.env import Environment
 from ..kernel.term import Term
+from ..obs import span, term_size, tracing_enabled
 from .qtac import (
-    Decompiler,
     Script,
     Tac,
     TApply,
@@ -41,7 +41,10 @@ def decompile_to_script(
     env: Environment, term: Term, ctx: Optional[Context] = None
 ) -> Script:
     """Mini decompiler followed by the cleanup pass."""
-    return _second_pass(decompile(env, term, ctx))
+    with span("decompile") as sp:
+        if tracing_enabled():
+            sp.gauge("term_size_in", term_size(term))
+        return _second_pass(decompile(env, term, ctx))
 
 
 def _second_pass(script: Script) -> Script:

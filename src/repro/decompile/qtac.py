@@ -16,7 +16,7 @@ proof engineer would read — and it can be re-executed with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..kernel.context import Context
@@ -28,9 +28,7 @@ from ..kernel.term import (
     Const,
     Constr,
     Elim,
-    Ind,
     Lam,
-    Pi,
     Rel,
     Sort,
     Term,

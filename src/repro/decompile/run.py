@@ -8,10 +8,10 @@ here is a script the proof engineer can actually maintain.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..kernel.env import Environment
 from ..kernel.term import Term
+from ..obs import span
 from ..tactics.engine import Proof, TacticError
 from ..tactics import tactics as T
 from .qtac import (
@@ -38,13 +38,14 @@ class ScriptError(Exception):
 
 def run_script(env: Environment, statement: Term, script: Script) -> Term:
     """Replay ``script`` against ``statement``; return the checked proof."""
-    proof = Proof(env, statement)
-    _run(proof, script)
-    if not proof.complete:
-        raise ScriptError(
-            f"script left {len(proof.goals)} open goal(s)"
-        )
-    return proof.qed()
+    with span("replay"):
+        proof = Proof(env, statement)
+        _run(proof, script)
+        if not proof.complete:
+            raise ScriptError(
+                f"script left {len(proof.goals)} open goal(s)"
+            )
+        return proof.qed()
 
 
 def _run(proof: Proof, script: Script) -> None:

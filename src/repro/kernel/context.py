@@ -9,7 +9,7 @@ current context.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 from .term import Term, TermError, lift
 

@@ -12,7 +12,6 @@ The algorithm is whnf-directed structural comparison with:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
 
 from .env import ABSENT, Environment
 from .reduce import whnf

@@ -20,12 +20,10 @@ from .inductive import (
 )
 from .stats import CACHES_DISABLED_BY_ENV, KERNEL_STATS, KernelStats
 from .term import (
-    Const,
     Elim,
     Ind,
     Pi,
     Rel,
-    Sort,
     Term,
     TermError,
     lift,

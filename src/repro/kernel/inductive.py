@@ -17,7 +17,7 @@ Constructor argument types are stored under the context
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .stats import KERNEL_STATS

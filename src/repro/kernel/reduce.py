@@ -22,7 +22,7 @@ such limit).
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional
 
 from .env import ABSENT, Environment
 from .inductive import iota_reduce

@@ -1,0 +1,66 @@
+"""Trace export: Chrome trace-event JSON and span-tree dumps.
+
+Two formats leave the tracer:
+
+* :func:`chrome_trace` — the Chrome trace-event format (``ph: "X"``
+  complete events, microsecond timestamps), loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev.  Span args, gauges,
+  and kernel-counter deltas ride along in each event's ``args``.
+* :func:`span_forest` — the raw span trees as JSON, for tooling that
+  wants the hierarchy (the per-phase summary in
+  :meth:`~repro.obs.tracer.Tracer.phase_summary` is the flat view).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from .tracer import Tracer, get_tracer
+
+
+def chrome_trace(tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """The tracer's spans as a Chrome trace-event document."""
+    tracer = tracer if tracer is not None else get_tracer()
+    origin = tracer._origin_ns
+    events: List[Dict[str, Any]] = []
+    pid = os.getpid()
+    for span in tracer.spans:
+        args: Dict[str, Any] = dict(span.args)
+        if span.gauges:
+            args["gauges"] = dict(span.gauges)
+        if span.kernel:
+            args["kernel"] = span.kernel
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": (span.start_ns - origin) / 1e3,
+                "dur": (span.end_ns - span.start_ns) / 1e3,
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda event: event["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def span_forest(tracer: Optional[Tracer] = None) -> List[Dict[str, Any]]:
+    """The completed top-level spans as JSON-serializable trees."""
+    tracer = tracer if tracer is not None else get_tracer()
+    return [root.to_dict() for root in tracer.roots]
+
+
+def write_chrome_trace(path: str, tracer: Optional[Tracer] = None) -> str:
+    """Write the Chrome trace-event JSON to ``path``; returns ``path``."""
+    document = chrome_trace(tracer)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+__all__ = ["chrome_trace", "span_forest", "write_chrome_trace"]

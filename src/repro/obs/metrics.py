@@ -1,0 +1,77 @@
+"""Term-shape gauges: node count and binder depth.
+
+The paper attributes Pumpkin Pi's slow cases to term *size* blowup
+(Section 4.4: caching "even intermediate subterms" to stay within ~10 s);
+these gauges let spans record how big the terms flowing through each
+phase actually are.  Both walks use an explicit stack, like the hot
+kernel traversals, so deep terms cannot hit Python's recursion limit.
+
+Sharing note: hash-consed terms are DAGs, and these gauges deliberately
+measure the *tree* view (every path counted), because tree size is what
+reduction and transformation costs track.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..kernel.term import App, Elim, Lam, Pi, Term
+
+
+def _children(term: Term) -> Tuple[Term, ...]:
+    if isinstance(term, App):
+        return (term.fn, term.arg)
+    if isinstance(term, Lam):
+        return (term.domain, term.body)
+    if isinstance(term, Pi):
+        return (term.domain, term.codomain)
+    if isinstance(term, Elim):
+        return (term.motive,) + tuple(term.cases) + (term.scrut,)
+    return ()
+
+
+def term_size(term: Term) -> int:
+    """Number of nodes in the term, viewed as a tree."""
+    size = 0
+    stack: List[Term] = [term]
+    while stack:
+        node = stack.pop()
+        size += 1
+        stack.extend(_children(node))
+    return size
+
+
+def term_depth(term: Term) -> int:
+    """Longest path from the root to a leaf, viewed as a tree."""
+    deepest = 0
+    stack: List[Tuple[Term, int]] = [(term, 1)]
+    while stack:
+        node, depth = stack.pop()
+        if depth > deepest:
+            deepest = depth
+        for child in _children(node):
+            stack.append((child, depth + 1))
+    return deepest
+
+
+def binder_depth(term: Term) -> int:
+    """Longest chain of binders (Lam/Pi bodies) from the root."""
+    deepest = 0
+    stack: List[Tuple[Term, int]] = [(term, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if depth > deepest:
+            deepest = depth
+        if isinstance(node, Lam):
+            stack.append((node.domain, depth))
+            stack.append((node.body, depth + 1))
+        elif isinstance(node, Pi):
+            stack.append((node.domain, depth))
+            stack.append((node.codomain, depth + 1))
+        else:
+            for child in _children(node):
+                stack.append((child, depth))
+    return deepest
+
+
+__all__ = ["binder_depth", "term_depth", "term_size"]

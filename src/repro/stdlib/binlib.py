@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from ..kernel.env import Environment
 from ..kernel.inductive import ConstructorDecl, InductiveDecl
-from ..kernel.term import Constr, Ind, Rel, SET, Term
+from ..kernel.term import Ind, SET
 from ..syntax.parser import parse
 
 

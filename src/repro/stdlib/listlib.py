@@ -13,7 +13,6 @@ Devoid example functions ``zip``, ``zip_with`` and the lemma
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..kernel.env import Environment
 from ..kernel.inductive import ConstructorDecl, InductiveDecl

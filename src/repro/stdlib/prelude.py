@@ -14,14 +14,7 @@ from __future__ import annotations
 
 from ..kernel.env import Environment
 from ..kernel.inductive import ConstructorDecl, InductiveDecl
-from ..kernel.term import (
-    App,
-    Ind,
-    PROP,
-    Rel,
-    SET,
-    type_sort,
-)
+from ..kernel.term import App, PROP, Rel, SET, type_sort
 from ..syntax.parser import parse
 
 TYPE1 = type_sort(1)

@@ -8,7 +8,7 @@ record types declared this way.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..kernel.env import Environment
 from ..kernel.inductive import ConstructorDecl, InductiveDecl

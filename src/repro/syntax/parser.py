@@ -38,7 +38,6 @@ from ..kernel.term import (
     SET,
     Term,
     lift,
-    mk_app,
     type_sort,
 )
 from .lexer import Token, tokenize

@@ -19,7 +19,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..kernel.context import Context
 from ..kernel.env import Environment
-from ..kernel.term import Term, TermError
+from ..kernel.term import Term
 from ..kernel.typecheck import check
 
 

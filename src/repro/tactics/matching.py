@@ -11,7 +11,7 @@ decompiler emits.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..kernel.convert import conv
 from ..kernel.env import Environment

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..kernel.context import Context
 from ..kernel.convert import conv
 from ..kernel.env import Environment
 from ..kernel.inductive import case_type
@@ -42,7 +41,7 @@ from ..kernel.term import (
     unfold_pis,
 )
 from ..kernel.typecheck import check, infer
-from .engine import Builder, Goal, TacticError
+from .engine import Goal, TacticError
 from .matching import MatchFailure, match_conclusion
 
 TermLike = Union[Term, str]

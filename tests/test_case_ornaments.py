@@ -1,9 +1,7 @@
 """Section 6.2 end to end: lists to packed vectors to vectors at an index."""
 
-import pytest
 
-from repro.kernel import Const, Context, check, mentions_global, nf, pretty
-from repro.stdlib.natlib import int_of_nat
+from repro.kernel import Context, check, mentions_global, nf, pretty
 from repro.syntax.parser import parse
 
 

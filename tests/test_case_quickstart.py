@@ -1,8 +1,8 @@
 """Section 2 end to end: Figures 1, 2, 3 and the Repair module command."""
 
-from repro.decompile.qtac import TInduction, TIntros, TRewrite
+from repro.decompile.qtac import TInduction, TIntros
 from repro.decompile.run import run_script
-from repro.kernel import Context, check, mentions_global, nf, pretty
+from repro.kernel import Context, check, mentions_global, nf
 from repro.syntax.parser import parse
 
 

@@ -1,6 +1,6 @@
 """Section 6.1 end to end: the REPLICA benchmark and its variants."""
 
-from repro.kernel import Context, check, mentions_global, nf, pretty
+from repro.kernel import mentions_global, nf
 from repro.stdlib.natlib import int_of_nat
 from repro.syntax.parser import parse
 

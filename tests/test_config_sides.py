@@ -4,14 +4,12 @@ import pytest
 
 from repro.core.config import (
     AlignedSide,
-    ConfigError,
-    Configuration,
     ElimMatch,
     MarkedIotaSide,
     Side,
     TermSide,
 )
-from repro.kernel import Const, Constr, Context, Elim, Ind, Lam, nf, pretty
+from repro.kernel import Const, Constr, Context, Elim, Ind, Lam, nf
 from repro.stdlib import make_env
 from repro.stdlib.natlib import nat_of_int
 from repro.syntax.parser import parse

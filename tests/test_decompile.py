@@ -7,8 +7,6 @@ from repro.decompile.decompiler import (
     print_script,
 )
 from repro.decompile.qtac import (
-    Script,
-    TApply,
     TExact,
     TIntro,
     TIntros,
@@ -19,7 +17,6 @@ from repro.decompile.qtac import (
     TRight,
     TSimpl,
     TSplit,
-    TSymmetry,
     decompile,
 )
 from repro.decompile.run import ScriptError, run_script
@@ -29,13 +26,11 @@ from repro.tactics.tactics import (
     induction,
     intro,
     intros,
-    left,
     reflexivity,
     rewrite,
     right,
     simpl,
     split,
-    symmetry,
 )
 
 

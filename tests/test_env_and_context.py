@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel import (
-    ConstantDecl,
     Context,
     EnvError,
     Environment,
@@ -12,9 +11,7 @@ from repro.kernel import (
     Rel,
     SET,
     TermError,
-    lift,
 )
-from repro.stdlib import make_env
 from repro.stdlib.natlib import declare_nat
 from repro.stdlib.prelude import declare_prelude
 from repro.syntax.parser import parse

@@ -2,14 +2,12 @@
 
 from repro.kernel import (
     App,
-    Const,
     Ind,
     Lam,
     PROP,
     Pi,
     Rel,
     SET,
-    Sort,
     conv,
     sub,
     type_sort,

@@ -4,10 +4,7 @@ import pytest
 
 from repro.kernel import (
     App,
-    Constr,
     ConstructorDecl,
-    Context,
-    Elim,
     Environment,
     Ind,
     InductiveDecl,
@@ -15,16 +12,14 @@ from repro.kernel import (
     Lam,
     PROP,
     Pi,
-    Rel,
     SET,
     case_type,
     constructor_args_and_indices,
-    infer,
     nf,
     pretty,
     type_sort,
 )
-from repro.kernel.inductive import analyze_recursive_args, check_positivity
+from repro.kernel.inductive import analyze_recursive_args
 from repro.stdlib.natlib import nat_of_int
 from repro.syntax.parser import parse
 

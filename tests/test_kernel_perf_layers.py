@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.kernel.env import Environment
-from repro.kernel.reduce import ReduceError, nf, whnf
+from repro.kernel.reduce import nf, whnf
 from repro.kernel.stats import KERNEL_STATS
 from repro.kernel.term import (
     App,
@@ -31,7 +31,6 @@ from repro.kernel.term import (
     set_term_memo,
     subst,
     subst_many,
-    term_memo_enabled,
 )
 
 from .test_kernel_term import terms

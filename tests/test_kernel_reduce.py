@@ -5,7 +5,6 @@ import pytest
 from repro.kernel import (
     App,
     Const,
-    Constr,
     Elim,
     Environment,
     Ind,

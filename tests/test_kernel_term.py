@@ -15,7 +15,6 @@ from repro.kernel.term import (
     Rel,
     SET,
     Sort,
-    Term,
     TermError,
     abstract_term,
     collect_globals,

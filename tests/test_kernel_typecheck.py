@@ -4,7 +4,6 @@ import pytest
 
 from repro.kernel import (
     App,
-    Const,
     Constr,
     Context,
     Elim,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import Const, Constr, Ind, Lam, Pi, Rel, unfold_pis
+from repro.kernel import Rel, unfold_pis
 from repro.syntax.parser import parse, parse_in
 from repro.tactics.matching import (
     MatchFailure,

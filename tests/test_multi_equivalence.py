@@ -9,7 +9,7 @@ which ports the Galois Handshake+Connection stack in a *single* pass
 
 import pytest
 
-from repro.cases.galois import CONNECTION_FIELDS, setup_environment
+from repro.cases.galois import setup_environment
 from repro.core.search.tuples_records import (
     RecordSide,
     TupleSide,

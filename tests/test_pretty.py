@@ -1,19 +1,6 @@
 """Pretty printer edge cases."""
 
-from repro.kernel import (
-    App,
-    Const,
-    Constr,
-    Elim,
-    Ind,
-    Lam,
-    PROP,
-    Pi,
-    Rel,
-    SET,
-    pretty,
-    type_sort,
-)
+from repro.kernel import App, Constr, Lam, PROP, Rel, SET, pretty, type_sort
 from repro.kernel.context import Context
 from repro.syntax.parser import parse
 

@@ -1,6 +1,5 @@
 """The swap/rename search procedure and its equivalence proofs."""
 
-import itertools
 
 import pytest
 
@@ -10,16 +9,7 @@ from repro.core.search.swap import (
     find_constructor_mappings,
     swap_configuration,
 )
-from repro.kernel import (
-    Const,
-    Context,
-    Ind,
-    check,
-    conv,
-    mk_app,
-    nf,
-    typecheck_closed,
-)
+from repro.kernel import Ind, mk_app, nf, typecheck_closed
 from repro.stdlib import declare_list_type, make_env
 from repro.syntax.parser import parse
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.kernel import Const, Constr, Context, Ind, check, conv, mk_app, nf
-from repro.stdlib import make_env
 from repro.stdlib.natlib import int_of_nat, nat_of_int
 from repro.syntax.parser import parse
 

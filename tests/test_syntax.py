@@ -1,7 +1,6 @@
 """Parser and pretty printer: grammar, resolution, round trips."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.kernel import Constr, Ind, Lam, PROP, Pi, Rel, pretty
 from repro.syntax.lexer import LexError, tokenize

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import Constr, Context, Ind, check, pretty
+from repro.kernel import Context, check
 from repro.syntax.parser import parse
 from repro.tactics import Proof, TacticError, prove
 from repro.tactics.tactics import (
@@ -14,7 +14,6 @@ from repro.tactics.tactics import (
     destruct,
     discriminate,
     elim_using,
-    exact,
     exists_,
     first,
     induction,
@@ -24,7 +23,6 @@ from repro.tactics.tactics import (
     reflexivity,
     rewrite,
     right,
-    simpl,
     split,
     symmetry,
     trivial,

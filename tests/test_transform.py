@@ -13,15 +13,11 @@ from repro.core.search.swap import swap_configuration
 from repro.kernel import (
     Const,
     Constr,
-    Context,
     Elim,
     Ind,
     Lam,
-    Rel,
-    conv,
     mentions_global,
     nf,
-    pretty,
     typecheck_closed,
 )
 from repro.stdlib import declare_list_type, make_env
