@@ -32,6 +32,72 @@ from repro.obs import (
 CASES = ("replica", "binary", "ornaments")
 
 
+def _analysis_phases(phases: dict) -> None:
+    """Run the static-analysis sweep traced; add ``analysis/*`` phases.
+
+    The sweep re-runs each case through :mod:`repro.analysis.cli`, so the
+    existing ``<case>/...`` phases stay comparable across report versions;
+    analysis shows up only under its own ``analysis/<case>`` keys:
+    ``total`` (sweep wall time, scenario setup included) plus one
+    sub-phase per ``analyze_*`` span (the four passes proper).
+    """
+    from repro.analysis.cli import run_target
+
+    for case in CASES:
+        with span("analyze", category="analysis", target=case) as a_span:
+            report = run_target(case)
+        if report.has_errors:
+            raise RuntimeError(
+                f"analysis sweep of {case!r} reported errors:\n"
+                + report.render()
+            )
+        phases[f"analysis/{case}/total"] = {
+            "count": 1,
+            "wall_time_s": round(a_span.duration_s, 6),
+        }
+        descendants = [s for s in a_span.walk() if s is not a_span]
+        for phase, entry in summarize_spans(descendants).items():
+            # The sweep re-runs the scenario to get artifacts; only the
+            # analyze_* spans are analysis cost proper.
+            if phase.startswith("analyze"):
+                phases[f"analysis/{case}/{phase}"] = entry
+
+
+def check_transparency() -> None:
+    """The analysis gate must not change repair output, byte for byte."""
+    from repro.analysis import set_analysis
+    from repro.core.repair import RepairSession
+    from repro.core.search.swap import swap_configuration
+    from repro.kernel import pretty
+    from repro.stdlib import declare_list_type, make_env
+
+    def run() -> list:
+        env = make_env(lists=True, vectors=False)
+        declare_list_type(env, "New.list", swapped=True)
+        config = swap_configuration(env, "list", "New.list")
+        session = RepairSession(
+            env, config, old_globals=["list"], rename=lambda n: f"New.{n}"
+        )
+        results = session.repair_module(["app", "rev", "length", "map"])
+        return [(pretty(r.term), pretty(r.type)) for r in results]
+
+    previous = set_analysis(True)
+    try:
+        gated = run()
+    finally:
+        set_analysis(previous)
+    previous = set_analysis(False)
+    try:
+        plain = run()
+    finally:
+        set_analysis(previous)
+    if gated != plain:
+        raise RuntimeError(
+            "repair output differs with REPRO_ANALYZE on — the analysis "
+            "gate is supposed to be read-only"
+        )
+
+
 def _run_case(name: str) -> None:
     if name == "replica":
         from repro.cases.replica import run_scenario
@@ -65,6 +131,7 @@ def build_report() -> dict:
             descendants = [s for s in case_span.walk() if s is not case_span]
             for phase, entry in summarize_spans(descendants).items():
                 phases[f"{case}/{phase}"] = entry
+        _analysis_phases(phases)
     finally:
         set_tracing(previous)
     return make_report("pipeline", phases)
@@ -72,7 +139,7 @@ def build_report() -> dict:
 
 def print_summary(report: dict) -> None:
     phases = report["phases"]
-    for case in CASES:
+    for case in CASES + tuple(f"analysis/{case}" for case in CASES):
         print(f"{case}:")
         names = sorted(
             (name for name in phases if name.startswith(f"{case}/")),
@@ -108,6 +175,8 @@ def main(argv) -> int:
     out_path = args[0] if args else "BENCH_pipeline.json"
 
     try:
+        check_transparency()
+        print("analysis transparency: repair output identical with gate on")
         report = build_report()
         write_report(out_path, report)
     except Exception as exc:

@@ -1,0 +1,60 @@
+"""``repro.analysis`` — static analysis for terms, configs, and scripts.
+
+Four read-only passes over the artifacts of proof repair, each emitting
+shared :class:`~repro.analysis.diagnostics.Diagnostic` values:
+
+* :mod:`~repro.analysis.scope` — scope & arity checking of de Bruijn
+  terms against the environment (RA0xx);
+* :mod:`~repro.analysis.residual` — residual references to the old
+  type in repaired terms, through δ-unfoldings (RA1xx);
+* :mod:`~repro.analysis.configlint` — Figure 8 configuration coherence
+  (RA2xx);
+* :mod:`~repro.analysis.tacticlint` — decompiled tactic scripts
+  (RA3xx).
+
+``python -m repro.analysis`` sweeps the stdlib and every case study;
+``REPRO_ANALYZE=1`` (or :func:`set_analysis`) arms the in-pipeline
+gates.  See DESIGN.md, "Static analysis".
+"""
+
+from .diagnostics import CODES, Diagnostic, Report, Severity
+from .gate import (
+    ANALYZE_ENABLED_BY_ENV,
+    ANALYZE_ENV_VAR,
+    AnalysisError,
+    analysis_enabled,
+    repair_gate,
+    rule_gate,
+    set_analysis,
+)
+from .configlint import lint_configuration
+from .residual import find_residuals, tainted_globals
+from .scope import (
+    check_constant,
+    check_environment,
+    check_inductive,
+    check_term,
+)
+from .tacticlint import lint_script
+
+__all__ = [
+    "ANALYZE_ENABLED_BY_ENV",
+    "ANALYZE_ENV_VAR",
+    "AnalysisError",
+    "CODES",
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "analysis_enabled",
+    "check_constant",
+    "check_environment",
+    "check_inductive",
+    "check_term",
+    "find_residuals",
+    "lint_configuration",
+    "lint_script",
+    "repair_gate",
+    "rule_gate",
+    "set_analysis",
+    "tainted_globals",
+]

@@ -1,0 +1,317 @@
+"""``python -m repro.analysis`` — sweep the stdlib and the case studies.
+
+For every target this runs the four passes over the artifacts the
+target produces:
+
+* **scope** — every repaired term and its type (and, for the stdlib,
+  every declaration in the environment);
+* **residual** — every repaired term against the old globals its repair
+  session removed, with the session's configuration constants allowed;
+* **config** — every configuration the case study builds;
+* **tactics** — decompiled scripts for the repaired proofs.
+
+Exit status is 1 when any error-severity diagnostic is found, which is
+what the CI ``analysis`` job gates on.  ``--json`` emits one JSON
+document on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..kernel.env import Environment
+from ..kernel.term import Term
+from ..obs import span
+from .configlint import lint_configuration
+from .diagnostics import Report, Severity
+from .residual import find_residuals
+from .scope import check_environment, check_term
+from .tacticlint import lint_script
+
+
+@dataclass
+class ResidualTarget:
+    """One repaired term to hold against the Section 4 guarantee."""
+
+    label: str
+    term: Term
+    old_globals: Tuple[str, ...]
+    allow: FrozenSet[str] = frozenset()
+
+
+@dataclass
+class CaseArtifacts:
+    """Everything one target exposes to the analysis passes."""
+
+    name: str
+    env: Environment
+    #: labelled terms for the scope pass (repaired bodies and types)
+    terms: List[Tuple[str, Term]] = field(default_factory=list)
+    residual_targets: List[ResidualTarget] = field(default_factory=list)
+    #: labelled configurations for the linter
+    configs: List[Tuple[str, object]] = field(default_factory=list)
+    #: environment to lint configurations against, when the scenario
+    #: mutated ``env`` past the configuration's lifetime (``remove_old``)
+    config_env: Optional[Environment] = None
+    #: labelled proof terms to decompile and lint as scripts
+    proofs: List[Tuple[str, Term]] = field(default_factory=list)
+    #: sweep the whole environment through the scope checker too
+    sweep_env: bool = False
+
+
+def _result_artifacts(
+    artifacts: CaseArtifacts,
+    results: Sequence[object],
+    old_globals: Tuple[str, ...],
+    allow: FrozenSet[str] = frozenset(),
+    lint_proofs: bool = True,
+) -> None:
+    """Register a list of ``RepairResult``-shaped objects."""
+    for result in results:
+        name = result.new_name
+        artifacts.terms.append((f"{name}:term", result.term))
+        artifacts.terms.append((f"{name}:type", result.type))
+        artifacts.residual_targets.append(
+            ResidualTarget(f"{name}:term", result.term, old_globals, allow)
+        )
+        artifacts.residual_targets.append(
+            ResidualTarget(f"{name}:type", result.type, old_globals, allow)
+        )
+        if lint_proofs:
+            artifacts.proofs.append((name, result.term))
+
+
+def _stdlib_artifacts() -> CaseArtifacts:
+    from ..stdlib import make_env
+
+    env = make_env(lists=True, vectors=True, binary=True, bitvectors=True)
+    return CaseArtifacts(name="stdlib", env=env, sweep_env=True)
+
+
+def _quickstart_artifacts() -> CaseArtifacts:
+    from ..cases import quickstart
+
+    scenario = quickstart.run_scenario()
+    artifacts = CaseArtifacts(name="quickstart", env=scenario.env)
+    artifacts.configs.append(("quickstart", scenario.config))
+    # run_scenario ends with remove_old(), so the configuration's A side
+    # refers to a type no longer in scenario.env; lint it against an
+    # identically-built environment that still declares ``list``.
+    artifacts.config_env = quickstart.setup_environment()
+    _result_artifacts(
+        artifacts,
+        [scenario.result] + list(scenario.module_results),
+        ("list",),
+    )
+    return artifacts
+
+
+def _replica_artifacts() -> CaseArtifacts:
+    # run_scenario does not expose its (shared) environment, so drive
+    # the variants directly, exactly as it does.
+    from ..cases import replica
+
+    env = replica.setup_environment()
+    artifacts = CaseArtifacts(name="replica", env=env)
+    for i, (label, order, renames) in enumerate(replica.VARIANTS):
+        variant = replica.run_variant(
+            env,
+            label,
+            order,
+            renames,
+            i,
+            mapping=replica.VARIANT_MAPPINGS.get(label),
+        )
+        _result_artifacts(
+            artifacts, variant.results, ("Old.Term",), lint_proofs=False
+        )
+    return artifacts
+
+
+def _binary_artifacts() -> CaseArtifacts:
+    from ..cases import binary
+
+    scenario = binary.run_scenario()
+    artifacts = CaseArtifacts(name="binary", env=scenario.env)
+    artifacts.configs.append(("binary", scenario.config))
+    allow = frozenset({"iota_nat_0", "iota_nat_1"})
+    _result_artifacts(
+        artifacts,
+        [scenario.slow_add, scenario.slow_add_n_Sm],
+        ("nat",),
+        allow=allow,
+    )
+    artifacts.terms.append(("add_fast_add", scenario.add_fast_add))
+    artifacts.terms.append(("fast_add_n_Sm", scenario.fast_add_n_Sm))
+    return artifacts
+
+
+def _ornaments_artifacts() -> CaseArtifacts:
+    from ..cases import ornaments_example
+
+    scenario = ornaments_example.run_scenario()
+    artifacts = CaseArtifacts(name="ornaments", env=scenario.env)
+    artifacts.configs.append(("ornaments", scenario.config))
+    allow = frozenset(
+        {
+            "ornament.eta",
+            "ornament.dep_constr_0",
+            "ornament.dep_constr_1",
+            "ornament.promote",
+            "ornament.forget",
+            "ornament.forget_vec",
+        }
+    )
+    _result_artifacts(
+        artifacts,
+        scenario.packed_results,
+        ("list",),
+        allow=allow,
+        lint_proofs=False,
+    )
+    for label, term in (
+        ("zip_vect", scenario.zip_vect),
+        ("zip_with_vect", scenario.zip_with_vect),
+        ("zip_with_is_zip_vect", scenario.zip_with_is_zip_vect),
+    ):
+        artifacts.terms.append((label, term))
+    return artifacts
+
+
+def _galois_artifacts() -> CaseArtifacts:
+    from ..cases import galois
+
+    scenario = galois.run_scenario()
+    artifacts = CaseArtifacts(name="galois", env=scenario.env)
+    artifacts.configs.append(("handshake", scenario.handshake_config))
+    artifacts.configs.append(("connection", scenario.connection_config))
+    _result_artifacts(
+        artifacts,
+        [scenario.cork_result],
+        ("Galois.Connection'",),
+        lint_proofs=False,
+    )
+    _result_artifacts(
+        artifacts,
+        [scenario.cork_lemma_tuple],
+        ("Record.Handshake",),
+        lint_proofs=False,
+    )
+    artifacts.terms.append(("cork_lemma_record", scenario.cork_lemma_record))
+    return artifacts
+
+
+def _constr_refactor_artifacts() -> CaseArtifacts:
+    from ..cases import constr_refactor
+
+    scenario = constr_refactor.run_scenario()
+    artifacts = CaseArtifacts(name="constr_refactor", env=scenario.env)
+    artifacts.configs.append(("constr_refactor", scenario.config))
+    _result_artifacts(artifacts, scenario.results, ("I",))
+    return artifacts
+
+
+CASES: Dict[str, Callable[[], CaseArtifacts]] = {
+    "stdlib": _stdlib_artifacts,
+    "quickstart": _quickstart_artifacts,
+    "replica": _replica_artifacts,
+    "binary": _binary_artifacts,
+    "ornaments": _ornaments_artifacts,
+    "galois": _galois_artifacts,
+    "constr_refactor": _constr_refactor_artifacts,
+}
+
+
+def analyze_case(artifacts: CaseArtifacts) -> Report:
+    """Run all four passes over one target's artifacts."""
+    report = Report()
+    env = artifacts.env
+    with span("analyze_scope", case=artifacts.name):
+        if artifacts.sweep_env:
+            report.extend(check_environment(env))
+        for label, term in artifacts.terms:
+            report.extend(check_term(env, term, subject=label))
+    with span("analyze_residual", case=artifacts.name):
+        for target in artifacts.residual_targets:
+            report.extend(
+                find_residuals(
+                    env,
+                    target.term,
+                    target.old_globals,
+                    allow=target.allow,
+                    subject=target.label,
+                )
+            )
+    with span("analyze_config", case=artifacts.name):
+        config_env = artifacts.config_env or env
+        for label, config in artifacts.configs:
+            report.extend(
+                lint_configuration(config_env, config, subject=label)
+            )
+    with span("analyze_tactics", case=artifacts.name):
+        from ..decompile.decompiler import decompile_to_script
+
+        for label, proof in artifacts.proofs:
+            script = decompile_to_script(env, proof)
+            report.extend(lint_script(env, script, subject=label))
+    return report
+
+
+def run_target(name: str) -> Report:
+    """Build one target's artifacts and analyze them."""
+    return analyze_case(CASES[name]())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis over the stdlib and the case studies.",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document instead of text",
+    )
+    parser.add_argument(
+        "--case",
+        action="append",
+        choices=sorted(CASES),
+        metavar="NAME",
+        help="restrict to the named target(s); default: all "
+        f"({', '.join(sorted(CASES))})",
+    )
+    args = parser.parse_args(argv)
+    targets = args.case or list(CASES)
+
+    reports: Dict[str, Report] = {}
+    for name in targets:
+        with span("analyze_target", target=name):
+            reports[name] = run_target(name)
+
+    total_errors = sum(r.count(Severity.ERROR) for r in reports.values())
+    if args.json:
+        document = {
+            "targets": {
+                name: report.to_dict() for name, report in reports.items()
+            },
+            "summary": {
+                sev.value: sum(
+                    r.count(sev) for r in reports.values()
+                )
+                for sev in Severity
+            },
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        for name, report in reports.items():
+            print(f"== {name} ==")
+            print(report.render())
+    return 1 if total_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Shared diagnostic type for the ``repro.analysis`` passes.
+
+Every pass — the scope/arity checker, the residual-reference detector,
+the configuration linter, and the tactic-script linter — reports its
+findings as :class:`Diagnostic` values: a severity, a stable code
+(``RA001``-style, registered in :data:`CODES`), the subject being
+analyzed, a path into the term or script, a human-readable message, and
+an optional pretty-printed rendering of the offending subterm.
+Diagnostics serialize to plain dictionaries for the ``--json`` CLI mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Orderable: ``ERROR`` ranks highest."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+
+#: Registry of every diagnostic code the analysis layer can emit.
+#: RA0xx — scope & arity; RA1xx — residual references; RA2xx —
+#: configuration coherence (Figure 8); RA3xx — tactic scripts.
+CODES: Dict[str, str] = {
+    "RA001": "de Bruijn index out of range",
+    "RA002": "invalid sort level",
+    "RA003": "reference to unknown constant",
+    "RA004": "reference to unknown inductive type",
+    "RA005": "constructor index out of range",
+    "RA006": "eliminator case count disagrees with the declaration",
+    "RA007": "constructor result-index count disagrees with the declaration",
+    "RA101": "repaired term mentions the old type directly",
+    "RA102": "repaired term mentions a constant whose delta-unfolding "
+    "reaches the old type",
+    "RA201": "sides disagree on the number of parameters",
+    "RA202": "sides disagree on the number of dependent constructors",
+    "RA203": "dependent constructor arities disagree across sides",
+    "RA204": "configuration term is open or fails to type check",
+    "RA205": "iota count disagrees with the constructor count",
+    "RA206": "roundtrip proof does not conclude with the expected equality",
+    "RA207": "equivalence function fails to type check",
+    "RA208": "invalid constructor permutation",
+    "RA301": "intro name is never used",
+    "RA302": "intro name shadows an existing hypothesis",
+    "RA303": "tactic argument does not resolve",
+    "RA304": "induction scrutinee is not a bound hypothesis",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from an analysis pass."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: what was being analyzed — a constant name, a case-study label, ...
+    subject: str = ""
+    #: path from the subject's root to the finding (e.g. ``("body",
+    #: "fn", "case[1]")`` into a term, or ``("step[3]",)`` into a script)
+    path: Tuple[str, ...] = ()
+    #: pretty-printed rendering of the offending subterm, when available
+    rendering: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    @property
+    def path_str(self) -> str:
+        return "/".join(self.path)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "subject": self.subject,
+            "path": list(self.path),
+        }
+        if self.rendering is not None:
+            out["rendering"] = self.rendering
+        return out
+
+    def render(self) -> str:
+        """One-line human-readable form, as printed by the CLI."""
+        where = self.subject
+        if self.path:
+            where = f"{where}:{self.path_str}" if where else self.path_str
+        line = f"{self.code} {self.severity.value}"
+        if where:
+            line += f" [{where}]"
+        line += f": {self.message}"
+        if self.rendering is not None:
+            line += f"\n    {self.rendering}"
+        return line
+
+
+@dataclass
+class Report:
+    """An ordered collection of diagnostics with summary helpers."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Sequence[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": {
+                sev.value: self.count(sev) for sev in Severity
+            },
+        }
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            "{} error(s), {} warning(s), {} info".format(
+                self.count(Severity.ERROR),
+                self.count(Severity.WARNING),
+                self.count(Severity.INFO),
+            )
+        )
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Residual-reference detector: the paper's Section 4 guarantee, checked.
+
+A correct repair produces a term over ``B`` with *no* residual
+references to the old type ``A``.  This pass finds violations:
+
+* **direct** mentions (RA101) — ``Ind(A)``, a constructor ``A#j``, an
+  ``Elim`` over ``A``, or a constant named ``A`` itself;
+* **transitive** mentions (RA102) — a reference to some constant or
+  inductive whose δ-unfolding (body, type, or declaration telescopes)
+  eventually reaches ``A``.  These are exactly the references the
+  kernel's δ-reduction would expose, which ``mentions_global`` alone
+  cannot see.
+
+Configuration constants (explicit iota marks, packing helpers — a
+repair session's ``skip`` set) legitimately bridge both sides; passing
+them in ``allow`` downgrades their transitive findings to ``INFO`` so
+the guarantee stays checkable on real case studies.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..kernel.env import Environment
+from ..kernel.pretty import pretty
+from ..kernel.term import (
+    App,
+    Constr,
+    Const,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Term,
+    collect_globals,
+)
+from .diagnostics import Diagnostic, Severity
+
+
+def _declaration_refs(env: Environment) -> Dict[str, Set[str]]:
+    """Each declared global's directly referenced globals."""
+    refs: Dict[str, Set[str]] = {}
+    for decl in env.constants():
+        names = set(collect_globals(decl.type))
+        if decl.body is not None:
+            names |= collect_globals(decl.body)
+        refs[decl.name] = names
+    for ind in env.inductives():
+        names = set()
+        for _name, ty in tuple(ind.params) + tuple(ind.indices):
+            names |= collect_globals(ty)
+        for ctor in ind.constructors:
+            for _name, ty in ctor.args:
+                names |= collect_globals(ty)
+            for idx in ctor.result_indices:
+                names |= collect_globals(idx)
+        refs[ind.name] = names
+    return refs
+
+
+def tainted_globals(
+    env: Environment, old_globals: Iterable[str]
+) -> FrozenSet[str]:
+    """Globals whose δ-unfolding transitively mentions an old global.
+
+    The result includes the old globals themselves.  Computed as a
+    reverse-dependency fixpoint over every declaration in ``env``.
+    """
+    old = frozenset(old_globals)
+    refs = _declaration_refs(env)
+    tainted: Set[str] = set(old)
+    changed = True
+    while changed:
+        changed = False
+        for name, deps in refs.items():
+            if name not in tainted and deps & tainted:
+                tainted.add(name)
+                changed = True
+    return frozenset(tainted)
+
+
+def find_residuals(
+    env: Environment,
+    term: Term,
+    old_globals: Iterable[str],
+    allow: AbstractSet[str] = frozenset(),
+    subject: str = "",
+    path: Tuple[str, ...] = (),
+) -> List[Diagnostic]:
+    """Report every reference in ``term`` that reaches an old global."""
+    old = frozenset(old_globals)
+    tainted = tainted_globals(env, old)
+    out: List[Diagnostic] = []
+    stack: List[Tuple[Term, Tuple[str, ...]]] = [(term, path)]
+    while stack:
+        t, p = stack.pop()
+        name = None
+        if isinstance(t, (Const, Ind)):
+            name = t.name
+        elif isinstance(t, (Constr, Elim)):
+            name = t.ind
+        if name is not None:
+            if name in old:
+                out.append(
+                    Diagnostic(
+                        code="RA101",
+                        severity=Severity.ERROR,
+                        message=f"direct reference to old global {name!r}",
+                        subject=subject,
+                        path=p,
+                        rendering=pretty(t, env=env)
+                        if not isinstance(t, Elim)
+                        else None,
+                    )
+                )
+            elif name in tainted:
+                severity = (
+                    Severity.INFO if name in allow else Severity.ERROR
+                )
+                qualifier = (
+                    " (allowed configuration constant)"
+                    if name in allow
+                    else ""
+                )
+                out.append(
+                    Diagnostic(
+                        code="RA102",
+                        severity=severity,
+                        message=(
+                            f"reference to {name!r}, whose delta-unfolding "
+                            f"mentions an old global{qualifier}"
+                        ),
+                        subject=subject,
+                        path=p,
+                    )
+                )
+        if isinstance(t, App):
+            stack.append((t.fn, p + ("fn",)))
+            stack.append((t.arg, p + ("arg",)))
+        elif isinstance(t, Lam):
+            stack.append((t.domain, p + ("domain",)))
+            stack.append((t.body, p + ("body",)))
+        elif isinstance(t, Pi):
+            stack.append((t.domain, p + ("domain",)))
+            stack.append((t.codomain, p + ("codomain",)))
+        elif isinstance(t, Elim):
+            stack.append((t.motive, p + ("motive",)))
+            for j, case in enumerate(t.cases):
+                stack.append((case, p + (f"case[{j}]",)))
+            stack.append((t.scrut, p + ("scrut",)))
+    return out

@@ -1,0 +1,177 @@
+"""Tactic-script linter: vet decompiler output before replay.
+
+Decompiled scripts (:mod:`repro.decompile.qtac`) carry their arguments
+as surface-syntax strings.  This pass replays the *binding structure*
+of a script without running any tactic:
+
+* every ``apply``/``exact``/``rewrite`` argument must parse and every
+  identifier in it must resolve — to an intro'd hypothesis, a global,
+  or a constructor (RA303);
+* ``induction`` must target a bound hypothesis (RA304);
+* intro names that shadow an existing hypothesis are flagged (RA302,
+  warning) as are intros never referenced by any later step (RA301,
+  warning).
+
+Resolution reuses :func:`repro.syntax.parser.parse_in` with the current
+hypothesis names as the bound-variable context, so the linter agrees
+with the tactic engine on what is in scope.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..decompile.qtac import (
+    Script,
+    Tac,
+    TApply,
+    TExact,
+    TIntro,
+    TIntros,
+    TInduction,
+    TRewrite,
+    TSplit,
+)
+from ..kernel.env import Environment
+from ..kernel.term import free_rels
+from ..syntax.lexer import LexError
+from ..syntax.parser import ParseError, parse_in
+from .diagnostics import Diagnostic, Severity
+
+
+class _Linter:
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.subject: str = "script"
+        self.diagnostics: List[Diagnostic] = []
+        self.used: Set[str] = set()
+        #: every intro performed, as (name, path) — audited at the end
+        self.intros: List[Tuple[str, Tuple[str, ...]]] = []
+
+    # -- Reporting ----------------------------------------------------------
+
+    def _report(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        path: Tuple[str, ...],
+        rendering: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                message=message,
+                subject=self.subject,
+                path=path,
+                rendering=rendering,
+            )
+        )
+
+    # -- The walk -----------------------------------------------------------
+
+    def lint(self, script: Script, subject: str) -> List[Diagnostic]:
+        self.subject = subject
+        self._script(script, [], ())
+        for name, path in self.intros:
+            if name not in self.used:
+                self._report(
+                    "RA301",
+                    Severity.WARNING,
+                    f"intro name {name!r} is never used",
+                    path,
+                )
+        return self.diagnostics
+
+    def _script(
+        self,
+        script: Script,
+        bound: List[str],
+        prefix: Tuple[str, ...],
+    ) -> None:
+        for i, tac in enumerate(script.steps):
+            self._tac(tac, bound, prefix + (f"step[{i}]",))
+
+    def _tac(
+        self, tac: Tac, bound: List[str], path: Tuple[str, ...]
+    ) -> None:
+        if isinstance(tac, TIntro):
+            self._intro(tac.name, bound, path, audit_use=True)
+        elif isinstance(tac, TIntros):
+            # Bulk intros mirror the goal's binder structure; their names
+            # may legitimately occur only in the (unseen) goal, so they
+            # are exempt from the unused-name audit.
+            for name in tac.names:
+                self._intro(name, bound, path, audit_use=False)
+        elif isinstance(tac, TRewrite):
+            self._argument(tac.proof, bound, path)
+        elif isinstance(tac, (TApply, TExact)):
+            self._argument(tac.term, bound, path)
+        elif isinstance(tac, TInduction):
+            if tac.scrut not in bound:
+                self._report(
+                    "RA304",
+                    Severity.ERROR,
+                    f"induction targets {tac.scrut!r}, which is not a "
+                    "bound hypothesis",
+                    path,
+                )
+            else:
+                self.used.add(tac.scrut)
+            for j, (names, case) in enumerate(
+                zip(tac.case_names, tac.cases)
+            ):
+                # The engine introduces the case binders innermost-last.
+                branch = list(reversed(names)) + list(bound)
+                self._script(case, branch, path + (f"case[{j}]",))
+        elif isinstance(tac, TSplit):
+            for j, branch_script in enumerate(tac.branches):
+                self._script(
+                    branch_script, list(bound), path + (f"branch[{j}]",)
+                )
+        # TSymmetry, TSimpl, TReflexivity, TLeft, TRight bind nothing
+        # and take no arguments.
+
+    def _intro(
+        self,
+        name: str,
+        bound: List[str],
+        path: Tuple[str, ...],
+        audit_use: bool,
+    ) -> None:
+        if name in bound:
+            self._report(
+                "RA302",
+                Severity.WARNING,
+                f"intro name {name!r} shadows an existing hypothesis",
+                path,
+            )
+        bound.insert(0, name)
+        if audit_use:
+            self.intros.append((name, path))
+
+    def _argument(
+        self, text: str, bound: List[str], path: Tuple[str, ...]
+    ) -> None:
+        try:
+            term = parse_in(self.env, text, tuple(bound))
+        except (ParseError, LexError) as exc:
+            self._report(
+                "RA303",
+                Severity.ERROR,
+                f"tactic argument does not resolve: {exc}",
+                path,
+                rendering=text,
+            )
+            return
+        for index in free_rels(term):
+            if 0 <= index < len(bound):
+                self.used.add(bound[index])
+
+
+def lint_script(
+    env: Environment, script: Script, subject: str = "script"
+) -> List[Diagnostic]:
+    """Lint one decompiled script; returns every finding."""
+    return _Linter(env).lint(script, subject)

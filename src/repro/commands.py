@@ -19,10 +19,15 @@ Supported commands::
     Repair module <A> <B> [prefix <Prefix>]
     Decompile <name>
     Replay <name>
+    Analyze [<name>]
     Remove <A>
 
 ``Repair`` uses the automatic workflow of Figure 6 (left): when no
 configuration was set up for the pair, the search procedures run first.
+``Analyze`` runs the static-analysis passes (:mod:`repro.analysis`):
+with a name, the scope checker over that constant plus the tactic
+linter over its decompiled script; without, the scope checker over the
+whole environment.
 """
 
 from __future__ import annotations
@@ -31,6 +36,9 @@ import shlex
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .analysis.diagnostics import Diagnostic, Severity
+from .analysis.scope import check_constant, check_environment
+from .analysis.tacticlint import lint_script
 from .core.caching import TransformCache
 from .core.config import Configuration
 from .core.repair import RepairResult, RepairSession
@@ -91,6 +99,8 @@ class CommandSession:
                 result = self._decompile(words[1:], command)
             elif head == "Replay":
                 result = self._replay(words[1:], command)
+            elif head == "Analyze":
+                result = self._analyze(words[1:], command)
             elif head == "Remove":
                 result = self._remove(words[1:], command)
             else:
@@ -216,6 +226,34 @@ class CommandSession:
             command=command,
             summary=f"decompiled script for {name} replays and checks",
             text=print_script(script, name=name),
+        )
+
+    def _analyze(self, words: List[str], command: str) -> CommandResult:
+        if len(words) > 1:
+            raise CommandError("usage: Analyze [<name>]")
+        diagnostics: List[Diagnostic]
+        if words:
+            name = words[0]
+            decl = self.env.constant(name)
+            diagnostics = check_constant(self.env, decl)
+            if decl.body is not None:
+                script = decompile_to_script(self.env, decl.body)
+                diagnostics.extend(
+                    lint_script(self.env, script, subject=name)
+                )
+            what = name
+        else:
+            diagnostics = check_environment(self.env)
+            what = "environment"
+        errors = sum(
+            1 for d in diagnostics if d.severity is Severity.ERROR
+        )
+        text = "\n".join(d.render() for d in diagnostics) or None
+        return CommandResult(
+            command=command,
+            summary=f"analyzed {what}: {errors} error(s), "
+            f"{len(diagnostics) - errors} other finding(s)",
+            text=text,
         )
 
     def _remove(self, words: List[str], command: str) -> CommandResult:

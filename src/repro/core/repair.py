@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..analysis.gate import repair_gate
 from ..kernel.context import Context
 from ..kernel.env import Environment
 from ..kernel.term import Term, collect_globals, mentions_global
@@ -85,6 +86,9 @@ class RepairSession:
                         "configuration's unification heuristics did not cover "
                         "some occurrence"
                     )
+            repair_gate(
+                self.env, result, self.old_globals, self.skip, "repair_term"
+            )
             with span("typecheck"):
                 if expected_type is not None:
                     check(self.env, Context.empty(), result, expected_type)
@@ -118,6 +122,12 @@ class RepairSession:
                     raise RepairError(
                         f"repair of {name!r} left references to {old!r}"
                     )
+            repair_gate(
+                self.env, new_body, self.old_globals, self.skip, name
+            )
+            repair_gate(
+                self.env, new_type, self.old_globals, self.skip, name
+            )
             target = new_name or self.rename(name)
             with span("typecheck", constant=name):
                 check(self.env, Context.empty(), new_body, new_type)

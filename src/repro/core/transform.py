@@ -40,6 +40,7 @@ from ..kernel.term import (
     TermError,
     mk_app,
 )
+from ..analysis.gate import rule_gate
 from .caching import TransformCache
 from .config import Configuration, ElimMatch
 
@@ -130,14 +131,14 @@ class Transformer:
             new_args = [self.transform(arg, ctx) for arg in args]
             built = b.make_iota(j, new_args)
             if built is not None:
-                return built
+                return self._gated("Iota", built, ctx)
             # Definitional iota on the B side: the cast disappears and the
             # proof being cast (the final argument) stands on its own.
             if not new_args:
                 raise TransformError(
                     "iota mark with no arguments cannot be erased"
                 )
-            return new_args[-1]
+            return self._gated("Iota", new_args[-1], ctx)
 
         # Dep-Constr.
         constr = a.match_constr(env, ctx, term)
@@ -145,25 +146,46 @@ class Transformer:
             j, params, args = constr
             new_params = [self.transform(p, ctx) for p in params]
             new_args = [self.transform(arg, ctx) for arg in args]
-            return b.make_constr(j, new_params, new_args)
+            return self._gated(
+                "Dep-Constr", b.make_constr(j, new_params, new_args), ctx
+            )
 
         # Projections (degenerate dependent eliminations; Section 6.4).
         proj = a.match_proj(env, ctx, term)
         if proj is not None:
             i, base = proj
-            return b.make_proj(i, self.transform(base, ctx))
+            return self._gated(
+                "Proj", b.make_proj(i, self.transform(base, ctx)), ctx
+            )
 
         # Dep-Elim.
         elim = a.match_elim(env, ctx, term)
         if elim is not None:
-            return b.make_elim(self._transform_elim_parts(elim, ctx))
+            return self._gated(
+                "Dep-Elim",
+                b.make_elim(self._transform_elim_parts(elim, ctx)),
+                ctx,
+            )
 
         # Equivalence: the type itself.
         params = a.match_type(env, term)
         if params is not None:
-            return b.make_type([self.transform(p, ctx) for p in params])
+            return self._gated(
+                "Equivalence",
+                b.make_type([self.transform(p, ctx) for p in params]),
+                ctx,
+            )
 
         return None
+
+    def _gated(self, rule: str, result: Term, ctx: Context) -> Term:
+        """Scope-check a rule's output under ``REPRO_ANALYZE=1``.
+
+        A no-op when analysis is off; when on, a malformed result fails
+        here, naming the Figure 10 rule, instead of deep in the kernel.
+        """
+        rule_gate(self.env, rule, result, len(ctx))
+        return result
 
     def _transform_elim_parts(self, match: ElimMatch, ctx: Context) -> ElimMatch:
         return ElimMatch(

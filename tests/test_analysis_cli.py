@@ -1,0 +1,39 @@
+"""The ``python -m repro.analysis`` sweep."""
+
+import json
+
+from repro.analysis.cli import CASES, main, run_target
+
+
+class TestMain:
+    def test_json_sweep_of_quickstart_is_clean(self, capsys):
+        assert main(["--json", "--case", "quickstart"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(document["targets"]) == {"quickstart"}
+        assert document["targets"]["quickstart"]["summary"]["error"] == 0
+        assert document["summary"]["error"] == 0
+
+    def test_stdlib_sweep_is_clean(self, capsys):
+        assert main(["--case", "stdlib"]) == 0
+        out = capsys.readouterr().out
+        assert "== stdlib ==" in out
+        assert "0 error(s)" in out
+
+    def test_case_names_cover_every_case_study(self):
+        assert set(CASES) == {
+            "stdlib",
+            "quickstart",
+            "replica",
+            "binary",
+            "ornaments",
+            "galois",
+            "constr_refactor",
+        }
+
+
+class TestRunTarget:
+    def test_quickstart_report_shape(self):
+        report = run_target("quickstart")
+        assert not report.has_errors
+        document = report.to_dict()
+        assert {"diagnostics", "summary"} <= set(document)

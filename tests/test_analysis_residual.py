@@ -1,0 +1,82 @@
+"""The residual-reference detector: direct, transitive, and allowed."""
+
+import pytest
+
+from repro.analysis import Severity, find_residuals, tainted_globals
+from repro.kernel.term import App, Const, Ind, Sort
+from repro.stdlib import make_env
+from repro.syntax.parser import parse
+
+
+@pytest.fixture(scope="module")
+def env():
+    return make_env(lists=True, vectors=False)
+
+
+class TestTaintClosure:
+    def test_old_global_is_tainted(self, env):
+        assert "list" in tainted_globals(env, ["list"])
+
+    def test_direct_dependency_is_tainted(self, env):
+        # rev's body eliminates lists, so rev is tainted.
+        tainted = tainted_globals(env, ["list"])
+        assert "rev" in tainted
+        assert "list_rect" in tainted
+
+    def test_transitive_dependency_is_tainted(self):
+        env = make_env(lists=True, vectors=False)
+        env.assume(
+            "wraps_rev",
+            parse(env, "forall (T : Set) (l : list T), list T"),
+        )
+        tainted = tainted_globals(env, ["list"])
+        assert "wraps_rev" in tainted
+
+    def test_unrelated_globals_are_clean(self, env):
+        tainted = tainted_globals(env, ["list"])
+        assert "nat" not in tainted
+        assert "add" not in tainted
+
+
+class TestFindResiduals:
+    def test_true_negative_nat_arithmetic(self, env):
+        term = parse(env, "add (S O) (S O)")
+        assert find_residuals(env, term, ["list"]) == []
+
+    def test_true_positive_direct_reference(self, env):
+        diags = find_residuals(env, Ind("list"), ["list"])
+        assert [d.code for d in diags] == ["RA101"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_direct_reference_inside_a_body(self, env):
+        body = env.constant("rev").body
+        codes = {d.code for d in find_residuals(env, body, ["list"])}
+        assert "RA101" in codes
+
+    def test_true_positive_transitive_reference(self, env):
+        # `rev` does not *name* list, but its delta-unfolding does.
+        diags = find_residuals(env, Const("rev"), ["list"])
+        assert [d.code for d in diags] == ["RA102"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_allowlist_downgrades_to_info(self, env):
+        diags = find_residuals(
+            env, Const("rev"), ["list"], allow=frozenset({"rev"})
+        )
+        assert [d.code for d in diags] == ["RA102"]
+        assert diags[0].severity is Severity.INFO
+
+    def test_allowlist_does_not_downgrade_direct(self, env):
+        # The allowlist is for configuration constants, never for the
+        # old type itself.
+        diags = find_residuals(
+            env, Ind("list"), ["list"], allow=frozenset({"list"})
+        )
+        assert [d.code for d in diags] == ["RA101"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_path_points_into_the_term(self, env):
+        term = App(Const("length"), Sort(0))
+        diags = find_residuals(env, term, ["list"])
+        assert len(diags) == 1
+        assert diags[0].path == ("fn",)

@@ -1,0 +1,245 @@
+"""The scope & arity checker: true negatives, true positives, and fuzz."""
+
+import random
+
+import pytest
+
+from repro.analysis import check_environment, check_inductive, check_term
+from repro.kernel.env import Environment
+from repro.kernel.inductive import ConstructorDecl, InductiveDecl
+from repro.kernel.term import (
+    App,
+    Constr,
+    Const,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+)
+from repro.stdlib import make_env
+
+
+@pytest.fixture(scope="module")
+def env():
+    return make_env(lists=True, vectors=True)
+
+
+class TestTrueNegatives:
+    def test_whole_stdlib_is_clean(self, env):
+        assert check_environment(env) == []
+
+    def test_closed_constant_body(self, env):
+        body = env.constant("rev").body
+        assert check_term(env, body) == []
+
+    def test_open_term_under_declared_binders(self, env):
+        # Rel(1) is fine when the checker is told two binders enclose it.
+        assert check_term(env, Rel(1), depth=2) == []
+
+
+class TestTruePositives:
+    def test_unbound_rel(self, env):
+        diags = check_term(env, Lam("x", Sort(0), Rel(1)))
+        assert [d.code for d in diags] == ["RA001"]
+        assert diags[0].path == ("body",)
+
+    def test_invalid_sort_level(self, env):
+        diags = check_term(env, Sort(-2))
+        assert [d.code for d in diags] == ["RA002"]
+
+    def test_unknown_constant(self, env):
+        diags = check_term(env, Const("no_such_constant"))
+        assert [d.code for d in diags] == ["RA003"]
+
+    def test_unknown_inductive(self, env):
+        diags = check_term(env, Ind("no_such_type"))
+        assert [d.code for d in diags] == ["RA004"]
+
+    def test_constructor_index_out_of_range(self, env):
+        diags = check_term(env, Constr("nat", 7))
+        assert [d.code for d in diags] == ["RA005"]
+
+    def test_elim_with_dropped_case(self, env):
+        # nat has two constructors; an Elim with one case is malformed.
+        full = Elim(
+            "nat",
+            Lam("n", Ind("nat"), Ind("nat")),
+            (Constr("nat", 0), Lam("n", Ind("nat"), Rel(0))),
+            Constr("nat", 0),
+        )
+        assert check_term(env, full) == []
+        dropped = Elim("nat", full.motive, full.cases[:1], full.scrut)
+        assert "RA006" in [d.code for d in check_term(env, dropped)]
+
+    def test_result_index_count_mismatch(self, env):
+        # A hand-built (undeclared) family whose constructor supplies no
+        # index for a one-index family.
+        decl = InductiveDecl(
+            name="Bad.indexed",
+            params=(),
+            indices=(("n", Ind("nat")),),
+            sort=Sort(0),
+            constructors=(
+                ConstructorDecl("mk", args=(), result_indices=()),
+            ),
+        )
+        diags = check_inductive(env, decl)
+        assert "RA007" in [d.code for d in diags]
+
+    def test_error_in_environment_sweep(self):
+        bad = Environment()
+        bad.assume("dangling", App(Const("loose"), Sort(0)), check=False)
+        diags = check_environment(bad)
+        assert "RA003" in [d.code for d in diags]
+        assert diags[0].subject == "dangling"
+
+
+# -- Seeded fuzzing (stdlib random only) -------------------------------------
+
+
+def random_term(rng, env, depth, binders):
+    """A random *well-scoped* term with ``binders`` enclosing binders."""
+    leaves = ["sort", "const", "ind", "constr"]
+    if binders > 0:
+        leaves.append("rel")
+    if depth <= 0:
+        kind = rng.choice(leaves)
+    else:
+        kind = rng.choice(leaves + ["lam", "pi", "app", "elim"])
+    if kind == "rel":
+        return Rel(rng.randrange(binders))
+    if kind == "sort":
+        return Sort(rng.choice([-1, 0, 1, 2]))
+    if kind == "const":
+        return Const(rng.choice(["add", "pred", "eq_sym"]))
+    if kind == "ind":
+        return Ind(rng.choice(["nat", "bool", "eq"]))
+    if kind == "constr":
+        return Constr("nat", rng.randrange(2))
+    if kind == "lam":
+        return Lam(
+            "x",
+            random_term(rng, env, depth - 1, binders),
+            random_term(rng, env, depth - 1, binders + 1),
+        )
+    if kind == "pi":
+        return Pi(
+            "x",
+            random_term(rng, env, depth - 1, binders),
+            random_term(rng, env, depth - 1, binders + 1),
+        )
+    if kind == "app":
+        return App(
+            random_term(rng, env, depth - 1, binders),
+            random_term(rng, env, depth - 1, binders),
+        )
+    # elim over nat: exactly two cases, all parts in scope.
+    return Elim(
+        "nat",
+        random_term(rng, env, depth - 1, binders),
+        (
+            random_term(rng, env, depth - 1, binders),
+            random_term(rng, env, depth - 1, binders),
+        ),
+        random_term(rng, env, depth - 1, binders),
+    )
+
+
+def bump_first_rel(term, binders=0):
+    """Make the first ``Rel`` found out of scope; None when there is none."""
+    if isinstance(term, Rel):
+        return Rel(term.index + binders + 1)
+    if isinstance(term, App):
+        fn = bump_first_rel(term.fn, binders)
+        if fn is not None:
+            return App(fn, term.arg)
+        arg = bump_first_rel(term.arg, binders)
+        return App(term.fn, arg) if arg is not None else None
+    if isinstance(term, Lam):
+        domain = bump_first_rel(term.domain, binders)
+        if domain is not None:
+            return Lam(term.name, domain, term.body)
+        body = bump_first_rel(term.body, binders + 1)
+        return Lam(term.name, term.domain, body) if body is not None else None
+    if isinstance(term, Pi):
+        domain = bump_first_rel(term.domain, binders)
+        if domain is not None:
+            return Pi(term.name, domain, term.codomain)
+        codomain = bump_first_rel(term.codomain, binders + 1)
+        if codomain is not None:
+            return Pi(term.name, term.domain, codomain)
+        return None
+    if isinstance(term, Elim):
+        motive = bump_first_rel(term.motive, binders)
+        if motive is not None:
+            return Elim(term.ind, motive, term.cases, term.scrut)
+        for j, case in enumerate(term.cases):
+            mutated = bump_first_rel(case, binders)
+            if mutated is not None:
+                cases = (
+                    term.cases[:j] + (mutated,) + term.cases[j + 1 :]
+                )
+                return Elim(term.ind, term.motive, cases, term.scrut)
+        scrut = bump_first_rel(term.scrut, binders)
+        if scrut is not None:
+            return Elim(term.ind, term.motive, term.cases, scrut)
+        return None
+    return None
+
+
+def drop_first_elim_case(term):
+    """Drop the last case of the first ``Elim`` found; None when none."""
+    if isinstance(term, Elim):
+        return Elim(term.ind, term.motive, term.cases[:-1], term.scrut)
+    if isinstance(term, App):
+        fn = drop_first_elim_case(term.fn)
+        if fn is not None:
+            return App(fn, term.arg)
+        arg = drop_first_elim_case(term.arg)
+        return App(term.fn, arg) if arg is not None else None
+    if isinstance(term, (Lam, Pi)):
+        inner = "body" if isinstance(term, Lam) else "codomain"
+        domain = drop_first_elim_case(term.domain)
+        if domain is not None:
+            return type(term)(term.name, domain, getattr(term, inner))
+        sub = drop_first_elim_case(getattr(term, inner))
+        if sub is not None:
+            return type(term)(term.name, term.domain, sub)
+        return None
+    return None
+
+
+class TestFuzz:
+    def test_generated_terms_are_accepted(self, env):
+        rng = random.Random(20260805)
+        for _ in range(200):
+            term = random_term(rng, env, depth=4, binders=0)
+            assert check_term(env, term) == []
+
+    def test_off_by_one_rel_is_rejected(self, env):
+        rng = random.Random(20260806)
+        mutated_count = 0
+        for _ in range(300):
+            term = random_term(rng, env, depth=4, binders=0)
+            mutated = bump_first_rel(term)
+            if mutated is None:
+                continue
+            mutated_count += 1
+            codes = [d.code for d in check_term(env, mutated)]
+            assert "RA001" in codes, (term, mutated)
+        assert mutated_count >= 50
+
+    def test_dropped_elim_case_is_rejected(self, env):
+        rng = random.Random(20260807)
+        mutated_count = 0
+        for _ in range(300):
+            term = random_term(rng, env, depth=4, binders=0)
+            mutated = drop_first_elim_case(term)
+            if mutated is None:
+                continue
+            mutated_count += 1
+            codes = [d.code for d in check_term(env, mutated)]
+            assert "RA006" in codes, (term, mutated)
+        assert mutated_count >= 50

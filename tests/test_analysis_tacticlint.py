@@ -1,0 +1,103 @@
+"""The tactic-script linter: decompiled output vetted before replay."""
+
+import pytest
+
+from repro.analysis import Severity, lint_script
+from repro.decompile.decompiler import decompile_to_script
+from repro.decompile.qtac import (
+    Script,
+    TApply,
+    TExact,
+    TInduction,
+    TIntro,
+    TIntros,
+    TReflexivity,
+)
+from repro.stdlib import make_env
+
+
+@pytest.fixture(scope="module")
+def env():
+    return make_env(lists=True, vectors=False)
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestTrueNegatives:
+    def test_decompiled_quickstart_script_is_clean(self, quickstart_scenario):
+        scenario = quickstart_scenario
+        diags = lint_script(
+            scenario.env, scenario.script, subject="rev_app_distr"
+        )
+        assert [d for d in diags if d.severity is Severity.ERROR] == []
+
+    def test_decompiled_stdlib_proof_is_clean(self, env):
+        body = env.constant("app_nil_r").body
+        script = decompile_to_script(env, body)
+        assert lint_script(env, script) == []
+
+    def test_used_intro_is_not_flagged(self, env):
+        script = Script((TIntro("n"), TExact("eq_refl nat n")))
+        assert lint_script(env, script) == []
+
+
+class TestTruePositives:
+    def test_unresolvable_apply(self, env):
+        script = Script((TApply("no_such_lemma_anywhere"),))
+        diags = lint_script(env, script)
+        assert codes(diags) == ["RA303"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_unresolvable_exact_free_variable(self, env):
+        # H is never introduced, so it does not resolve.
+        script = Script((TExact("eq_refl nat H"),))
+        diags = lint_script(env, script)
+        assert codes(diags) == ["RA303"]
+
+    def test_unused_intro(self, env):
+        script = Script((TIntro("H"), TReflexivity()))
+        diags = lint_script(env, script)
+        assert codes(diags) == ["RA301"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_bulk_intros_are_exempt_from_unused(self, env):
+        script = Script((TIntros(("A", "B")), TReflexivity()))
+        assert lint_script(env, script) == []
+
+    def test_shadowed_intro(self, env):
+        script = Script(
+            (TIntro("H"), TIntro("H"), TExact("eq_refl nat O"))
+        )
+        diags = lint_script(env, script)
+        assert "RA302" in codes(diags)
+
+    def test_induction_on_unbound_name(self, env):
+        script = Script(
+            (
+                TInduction(
+                    scrut="ghost",
+                    case_names=((), ("n", "IH")),
+                    cases=(Script(()), Script(())),
+                ),
+            )
+        )
+        diags = lint_script(env, script)
+        assert "RA304" in codes(diags)
+
+    def test_case_binders_are_in_scope_inside_cases(self, env):
+        script = Script(
+            (
+                TIntro("m"),
+                TInduction(
+                    scrut="m",
+                    case_names=((), ("n", "IH")),
+                    cases=(
+                        Script((TReflexivity(),)),
+                        Script((TExact("IH"),)),
+                    ),
+                ),
+            )
+        )
+        assert lint_script(env, script) == []

@@ -91,3 +91,28 @@ class TestConfigure:
         session.execute("Configure list New.list")
         session.execute("Repair list New.list in app as A2")
         assert len(session.history) == 2
+
+
+class TestAnalyze:
+    def test_analyze_whole_environment(self, session):
+        result = session.execute("Analyze")
+        assert result.summary.startswith("analyzed environment: 0 error(s)")
+        assert result.text is None
+
+    def test_analyze_one_constant(self, session):
+        result = session.execute("Analyze rev_app_distr")
+        assert result.summary.startswith("analyzed rev_app_distr: 0 error(s)")
+
+    def test_analyze_reports_findings(self, session):
+        from repro.kernel import App, Const, Sort
+
+        session.env.assume(
+            "dangling", App(Const("loose"), Sort(0)), check=False
+        )
+        result = session.execute("Analyze dangling")
+        assert "1 error(s)" in result.summary
+        assert "RA003" in result.text
+
+    def test_analyze_usage_error(self, session):
+        with pytest.raises(CommandError):
+            session.execute("Analyze two names")
