@@ -4,8 +4,13 @@ Runs the replica, binary, and ornaments case studies with tracing
 forced on and aggregates the recorded spans into flat per-phase entries
 (``<case>/<phase>``) in the shared report schema
 (:mod:`report_schema`), so the CI regression gate can compare runs.
-Optionally also writes the full Chrome trace-event JSON
-(``chrome://tracing`` / Perfetto) for interactive inspection.
+The default ``<case>/*`` phases run with the NbE machine engine (the
+default); an ablation re-runs every case with ``REPRO_DISABLE_NBE``
+semantics (:func:`repro.kernel.machine.set_nbe`) under ``nbe_off/*``
+phases, and an ``nbe`` extra summarizes the repair-phase wall-time and
+``subst``-lookup ratios between the engines.  Optionally also writes
+the full Chrome trace-event JSON (``chrome://tracing`` / Perfetto) for
+interactive inspection.
 
 Usage::
 
@@ -63,38 +68,62 @@ def _analysis_phases(phases: dict) -> None:
                 phases[f"analysis/{case}/{phase}"] = entry
 
 
-def check_transparency() -> None:
-    """The analysis gate must not change repair output, byte for byte."""
-    from repro.analysis import set_analysis
+def _repair_outputs() -> list:
     from repro.core.repair import RepairSession
     from repro.core.search.swap import swap_configuration
     from repro.kernel import pretty
     from repro.stdlib import declare_list_type, make_env
 
-    def run() -> list:
-        env = make_env(lists=True, vectors=False)
-        declare_list_type(env, "New.list", swapped=True)
-        config = swap_configuration(env, "list", "New.list")
-        session = RepairSession(
-            env, config, old_globals=["list"], rename=lambda n: f"New.{n}"
-        )
-        results = session.repair_module(["app", "rev", "length", "map"])
-        return [(pretty(r.term), pretty(r.type)) for r in results]
+    env = make_env(lists=True, vectors=False)
+    declare_list_type(env, "New.list", swapped=True)
+    config = swap_configuration(env, "list", "New.list")
+    session = RepairSession(
+        env, config, old_globals=["list"], rename=lambda n: f"New.{n}"
+    )
+    results = session.repair_module(["app", "rev", "length", "map"])
+    return [(pretty(r.term), pretty(r.type)) for r in results]
+
+
+def check_transparency() -> None:
+    """The analysis gate must not change repair output, byte for byte."""
+    from repro.analysis import set_analysis
 
     previous = set_analysis(True)
     try:
-        gated = run()
+        gated = _repair_outputs()
     finally:
         set_analysis(previous)
     previous = set_analysis(False)
     try:
-        plain = run()
+        plain = _repair_outputs()
     finally:
         set_analysis(previous)
     if gated != plain:
         raise RuntimeError(
             "repair output differs with REPRO_ANALYZE on — the analysis "
             "gate is supposed to be read-only"
+        )
+
+
+def check_nbe_transparency() -> None:
+    """Both reduction engines must repair to byte-identical output."""
+    from repro.kernel.machine import set_nbe
+
+    previous = set_nbe(True)
+    try:
+        with_machine = _repair_outputs()
+    finally:
+        set_nbe(previous)
+    previous = set_nbe(False)
+    try:
+        without = _repair_outputs()
+    finally:
+        set_nbe(previous)
+    if with_machine != without:
+        raise RuntimeError(
+            "repair output differs between the NbE machine and the "
+            "substitution engine — the engines must be observationally "
+            "identical"
         )
 
 
@@ -110,35 +139,94 @@ def _run_case(name: str) -> None:
     run_scenario()
 
 
+def _traced_case_phases(phases: dict, case: str, prefix: str) -> None:
+    """Run one case traced; record its spans under ``prefix + case``.
+
+    Term-level global caches are cleared first so every case starts
+    cold: the NbE ablation re-runs the same cases later in the process,
+    and warm ``lift``/``subst``/intern tables would otherwise hand the
+    second engine a head start the first one paid for.
+    """
+    from repro.kernel.term import clear_term_caches
+
+    clear_term_caches()
+    KERNEL_STATS.reset()
+    with span(case, category="case") as case_span:
+        _run_case(case)
+    phases[f"{prefix}{case}/total"] = {
+        "count": 1,
+        "wall_time_s": round(case_span.duration_s, 6),
+        "cache_hit_rates": {
+            table: delta["hit_rate"]
+            for table, delta in case_span.kernel["tables"].items()
+        },
+    }
+    descendants = [s for s in case_span.walk() if s is not case_span]
+    for phase, entry in summarize_spans(descendants).items():
+        phases[f"{prefix}{case}/{phase}"] = entry
+
+
+def _nbe_summary(phases: dict) -> dict:
+    """Engine on/off ratios for the repair phases, per case."""
+    from repro.kernel.machine import set_nbe  # noqa: F401 (doc pointer)
+
+    summary: dict = {}
+    for case in CASES:
+        on = phases.get(f"{case}/repair")
+        off = phases.get(f"nbe_off/{case}/repair")
+        if not on or not off:
+            continue
+        on_subst = on.get("cache_lookups", {}).get("subst", 0)
+        off_subst = off.get("cache_lookups", {}).get("subst", 0)
+        summary[case] = {
+            "repair_wall_on_s": on["wall_time_s"],
+            "repair_wall_off_s": off["wall_time_s"],
+            "repair_speedup": round(
+                off["wall_time_s"] / max(on["wall_time_s"], 1e-9), 2
+            ),
+            "repair_subst_lookups_on": on_subst,
+            "repair_subst_lookups_off": off_subst,
+            "repair_subst_drop": round(
+                off_subst / max(on_subst, 1), 2
+            ),
+        }
+    return summary
+
+
 def build_report() -> dict:
     """Run every case traced; return the shared-schema report dict."""
+    from repro.kernel.machine import set_nbe
+
     previous = set_tracing(True)
     reset_tracer()
     phases: dict = {}
     try:
         for case in CASES:
-            KERNEL_STATS.reset()
-            with span(case, category="case") as case_span:
-                _run_case(case)
-            phases[f"{case}/total"] = {
-                "count": 1,
-                "wall_time_s": round(case_span.duration_s, 6),
-                "cache_hit_rates": {
-                    table: delta["hit_rate"]
-                    for table, delta in case_span.kernel["tables"].items()
-                },
-            }
-            descendants = [s for s in case_span.walk() if s is not case_span]
-            for phase, entry in summarize_spans(descendants).items():
-                phases[f"{case}/{phase}"] = entry
+            _traced_case_phases(phases, case, "")
+        # NbE ablation: the same cases on the substitution engine.
+        nbe_previous = set_nbe(False)
+        try:
+            for case in CASES:
+                _traced_case_phases(phases, case, "nbe_off/")
+        finally:
+            set_nbe(nbe_previous)
         _analysis_phases(phases)
     finally:
         set_tracing(previous)
-    return make_report("pipeline", phases)
+    return make_report("pipeline", phases, nbe=_nbe_summary(phases))
 
 
 def print_summary(report: dict) -> None:
     phases = report["phases"]
+    for case, entry in sorted(report.get("nbe", {}).items()):
+        print(
+            f"nbe {case}: repair {entry['repair_wall_on_s']:.4f}s on / "
+            f"{entry['repair_wall_off_s']:.4f}s off "
+            f"({entry['repair_speedup']}x), subst lookups "
+            f"{entry['repair_subst_lookups_on']} / "
+            f"{entry['repair_subst_lookups_off']} "
+            f"({entry['repair_subst_drop']}x fewer)"
+        )
     for case in CASES + tuple(f"analysis/{case}" for case in CASES):
         print(f"{case}:")
         names = sorted(
@@ -177,6 +265,8 @@ def main(argv) -> int:
     try:
         check_transparency()
         print("analysis transparency: repair output identical with gate on")
+        check_nbe_transparency()
+        print("engine transparency: repair output identical across engines")
         report = build_report()
         write_report(out_path, report)
     except Exception as exc:

@@ -19,8 +19,18 @@ without per-script knowledge::
         },
         ...
       },
+      "history": [       # perf trend, newest last (see write_report)
+        {"timestamp": ..., "git_sha": ...,
+         "phases": {"<phase>": <wall_time_s>, ...}},
+        ...
+      ],
       ...                # benchmark-specific extras allowed
     }
+
+:func:`write_report` appends each run to the existing file's
+``history`` list (timestamp + git sha + per-phase wall time, capped at
+:data:`HISTORY_LIMIT` entries) instead of overwriting it, so a
+BENCH_*.json tracked in git shows the perf trend across PRs.
 
 :func:`write_report` validates before touching the filesystem and
 writes atomically (tempfile + rename), so a malformed result can never
@@ -38,6 +48,9 @@ from datetime import datetime, timezone
 from typing import Any, Dict, List
 
 SCHEMA_VERSION = 1
+
+#: Most history entries kept in a report (newest last; oldest dropped).
+HISTORY_LIMIT = 50
 
 _ENVELOPE_KEYS = ("schema_version", "benchmark", "timestamp", "git_sha", "phases")
 
@@ -97,6 +110,23 @@ def validate_report(report: Any) -> List[str]:
         value = report.get(key)
         if key in report and (not isinstance(value, str) or not value):
             errors.append(f"{key!r} must be a non-empty string, got {value!r}")
+    history = report.get("history")
+    if history is not None:
+        if not isinstance(history, list):
+            errors.append(
+                f"'history' must be a list, got {type(history).__name__}"
+            )
+        else:
+            for i, entry in enumerate(history):
+                if not (
+                    isinstance(entry, dict)
+                    and isinstance(entry.get("timestamp"), str)
+                    and isinstance(entry.get("git_sha"), str)
+                    and isinstance(entry.get("phases"), dict)
+                ):
+                    errors.append(
+                        f"history[{i}] must have timestamp/git_sha/phases"
+                    )
     phases = report.get("phases")
     if phases is None:
         return errors
@@ -136,12 +166,45 @@ def validate_report(report: Any) -> List[str]:
     return errors
 
 
+def history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The compact trend record for one run of ``report``."""
+    return {
+        "timestamp": report["timestamp"],
+        "git_sha": report["git_sha"],
+        "phases": {
+            name: entry.get("wall_time_s")
+            for name, entry in report["phases"].items()
+        },
+    }
+
+
+def _carry_history(path: str, report: Dict[str, Any]) -> None:
+    """Extend ``report`` with the prior file's history plus this run.
+
+    A missing, unreadable, or malformed prior report contributes nothing
+    (first run, or a by-hand file) — the trend restarts rather than the
+    write failing.
+    """
+    previous: List[Any] = []
+    try:
+        with open(path) as handle:
+            old = json.load(handle)
+        if isinstance(old, dict) and isinstance(old.get("history"), list):
+            previous = [e for e in old["history"] if isinstance(e, dict)]
+    except (OSError, json.JSONDecodeError):
+        pass
+    report["history"] = (previous + [history_entry(report)])[-HISTORY_LIMIT:]
+
+
 def write_report(path: str, report: Dict[str, Any]) -> str:
     """Validate and atomically write ``report`` to ``path``.
 
-    Raises :class:`ReportError` (listing every violation) *before*
-    creating or truncating the output file.
+    Appends this run to the prior file's ``history`` trend (unless the
+    caller already set one).  Raises :class:`ReportError` (listing every
+    violation) *before* creating or truncating the output file.
     """
+    if "history" not in report:
+        _carry_history(path, report)
     errors = validate_report(report)
     if errors:
         raise ReportError(

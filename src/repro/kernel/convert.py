@@ -8,11 +8,20 @@ The algorithm is whnf-directed structural comparison with:
   compared with the eta-expansion of the other side), and
 * cumulativity (``Prop <= Set <= Type(1) <= ...``) when used in subtype
   mode: covariant in Pi codomains, invariant in domains, like Coq.
+
+By default conversion runs on the NbE abstract machine
+(:func:`repro.kernel.machine.conv_terms`): values are compared directly,
+and when both sides are applications of the *same* constant the argument
+spines are compared before unfolding (the lazy delta oracle).  The
+whnf-then-structural loop below is the fallback engine
+(``REPRO_DISABLE_NBE=1``); both return identical booleans and share the
+same cache entries.
 """
 
 from __future__ import annotations
 
 
+from . import machine
 from .env import ABSENT, Environment
 from .reduce import whnf
 from .stats import KERNEL_STATS
@@ -58,7 +67,10 @@ def _conv(env: Environment, t1: Term, t2: Term, cumulative: bool) -> bool:
         hit = cache.get(key, _CONV_COUNTER)
         if hit is not ABSENT:
             return hit
-    result = _conv_slow(env, t1, t2, cumulative)
+    if machine.nbe_enabled():
+        result = machine.conv_terms(env, t1, t2, cumulative)
+    else:
+        result = _conv_slow(env, t1, t2, cumulative)
     if key is not None:
         cache.put(key, result)
     return result

@@ -1,0 +1,1170 @@
+"""NbE abstract machine: closure-based reduction and lazy conversion.
+
+This module is the machine half of the kernel's reduction engine — a
+Krivine-style environment machine computing weak-head forms over
+*closures* (a term paired with a lazy de Bruijn environment), in the
+style of Coq's own machine-based normalization.  The substitution-based
+reducers in :mod:`repro.kernel.reduce` walk the whole term on every beta
+step (``subst`` is the hottest kernel operation in BENCH_pipeline.json);
+here a beta step is an O(1) environment extension, and substitution is
+deferred until a *readback* pass quotes the semantic value to a
+hash-consed term.
+
+Three entry points slot in behind the existing public signatures:
+
+* :func:`whnf_term` — weak-head normal form.  The readback substitutes
+  environments into the stuck parts **without reducing**, so the result
+  is byte-identical to the legacy ``_whnf`` (same reduction strategy:
+  beta, iota with interleaved induction hypotheses, delta respecting the
+  ``frozen`` set).
+* :func:`nf_term` — full normalization via quote: weak-head evaluate,
+  then recursively quote under fresh variables (de Bruijn *levels*).
+* :func:`conv_terms` — conversion directly on values with a **lazy
+  delta oracle**: when both sides are applications of the *same*
+  constant, the argument spines are compared first and the constant is
+  only unfolded when they disagree (Coq's ``fconv`` discipline); the
+  legacy path unfolds every unfoldable head eagerly inside whnf.
+
+Values
+------
+
+``VSort`` / ``VLam`` / ``VPi`` / ``VSpine(head, args)`` where the spine
+args are :class:`Thunk` closures and the head is a rigid ``HVar`` /
+``HConst`` / ``HInd`` / ``HConstr`` / ``HElim`` (or a stuck ``VSort`` /
+``VPi`` — ill-typed applications must reduce exactly like the legacy
+normalizer, which leaves them in place).  Variables are de Bruijn
+*levels*: a fresh variable bound at quote/conversion depth ``d`` has
+level ``d``; an ambient free ``Rel(i)`` is encoded as level ``-(i+1)``.
+Readback at depth ``d`` is uniformly ``Rel(d - 1 - level)`` for both.
+
+Closure sharing
+---------------
+
+Closures over closed terms are environment-independent, so they are
+shared through the environment's :class:`~repro.kernel.env.ReductionCache`
+(key tag ``"machine_thunk"``): repeated library subterms are evaluated
+and quoted once per (delta, frozen, laziness) mode.  The cache is
+cleared on ``redefine``/``remove``, which keeps constant bodies baked
+into shared values from going stale.  Identity-keyed term caches in
+:mod:`repro.kernel.reduce` compose with the machine unchanged: the
+machine produces interned terms, so its results pin the same nodes the
+legacy reducers would.
+
+Both engines are observationally identical on well-typed terms — same
+normal forms, verdicts, and errors (the differential fuzz suite in
+``tests/test_kernel_machine.py`` enforces this).  On *ill-typed* terms
+the engines may explore different subterms during conversion: the legacy
+engine's syntactic short-circuit can skip an ill-formed elimination that
+the machine's forcing reaches, so the machine can raise an
+``InductiveError`` where the legacy engine returns a verdict.
+Conversion is only specified for well-typed inputs (the same contract
+Coq's VM conversion has with its kernel's lazy conversion).
+
+The engine is on by default; ``REPRO_DISABLE_NBE=1`` (mirroring
+``REPRO_DISABLE_KERNEL_CACHES``) or :func:`set_nbe` falls back to the
+substitution-based reducers.  :data:`~repro.kernel.stats.KERNEL_STATS`
+records ``machine_steps`` (eval transitions), ``machine_closures``
+(thunk allocations), ``machine_readbacks`` (readback/quote passes), and
+``machine_delta_avoided`` (conversions decided without unfolding an
+unfoldable constant head).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import FrozenSet, List, Optional, Tuple, Union
+
+from .env import ABSENT, Environment
+from .inductive import analyze_recursive_args, iota_reduce
+from .stats import KERNEL_STATS
+from .term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+    Term,
+    TermError,
+    free_rels,
+    lift,
+    max_free_rel,
+    _transform_rels,
+)
+
+#: True when the machine engine was disabled via the environment.
+NBE_DISABLED_BY_ENV: bool = os.environ.get(
+    "REPRO_DISABLE_NBE", ""
+) not in ("", "0")
+
+_nbe_enabled: bool = not NBE_DISABLED_BY_ENV
+
+
+def set_nbe(enabled: bool) -> bool:
+    """Enable/disable the machine engine; returns the previous setting."""
+    global _nbe_enabled
+    previous = _nbe_enabled
+    _nbe_enabled = enabled
+    return previous
+
+
+def nbe_enabled() -> bool:
+    """True when whnf/nf/conv dispatch to the abstract machine."""
+    return _nbe_enabled
+
+
+_STEPS = KERNEL_STATS.event("machine_steps")
+_CLOSURES = KERNEL_STATS.event("machine_closures")
+_READBACKS = KERNEL_STATS.event("machine_readbacks")
+_DELTA_AVOIDED = KERNEL_STATS.event("machine_delta_avoided")
+_THUNK_COUNTER = KERNEL_STATS.counter("machine_thunk")
+_CONV_COUNTER = KERNEL_STATS.counter("conv")
+
+_EMPTY_FROZEN: FrozenSet[str] = frozenset()
+
+_THUNK_TAG = "machine_thunk"
+_CONST_TAG = "machine_const"
+_CONV_TAG = "conv"  # shared with convert.py so both engines reuse entries
+_VCONV_TAG = "machine_vconv"
+
+
+# ---------------------------------------------------------------------------
+# Runtime representation: environments, closures, values
+# ---------------------------------------------------------------------------
+
+
+class _Env:
+    """A cons cell of the machine environment (innermost binder first)."""
+
+    __slots__ = ("entry", "rest", "length")
+
+    def __init__(self, entry: "Thunk", rest: Optional["_Env"]) -> None:
+        self.entry = entry
+        self.rest = rest
+        self.length = 1 if rest is None else rest.length + 1
+
+
+class Thunk:
+    """A lazily-evaluated closure: a term under a machine environment.
+
+    ``value`` memoizes the weak-head value once forced; ``rb`` memoizes
+    the non-reducing readback (environment substituted in, no further
+    reduction) used by whnf-mode readback; ``nfq`` memoizes the full
+    quote for *closed* terms (whose quote is depth-independent).
+    """
+
+    __slots__ = ("term", "env", "value", "rb", "nfq")
+
+    def __init__(self, term: Optional[Term], env: Optional[_Env]) -> None:
+        self.term = term
+        self.env = env
+        self.value: Optional[Value] = None
+        self.rb: Optional[Term] = None
+        self.nfq: Optional[Term] = None
+        _CLOSURES.count += 1
+
+
+class VSort:
+    __slots__ = ("level",)
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+
+
+class VLam:
+    """A function value: binder name, domain/body terms, closing env."""
+
+    __slots__ = ("name", "domain", "body", "env")
+
+    def __init__(
+        self, name: str, domain: Term, body: Term, env: Optional[_Env]
+    ) -> None:
+        self.name = name
+        self.domain = domain
+        self.body = body
+        self.env = env
+
+
+class VPi:
+    __slots__ = ("name", "domain", "body", "env")
+
+    def __init__(
+        self, name: str, domain: Term, body: Term, env: Optional[_Env]
+    ) -> None:
+        self.name = name
+        self.domain = domain
+        self.body = body  # the codomain, under one binder
+        self.env = env
+
+
+class VSpine:
+    """A stuck application: rigid head applied to arg closures in order."""
+
+    __slots__ = ("head", "args")
+
+    def __init__(self, head: "Head", args: Tuple[Thunk, ...]) -> None:
+        self.head = head
+        self.args = args
+
+
+class HVar:
+    """A variable head, as a de Bruijn level (ambient ``Rel(i)`` is
+    level ``-(i+1)``; fresh quote/conversion variables are ``>= 0``)."""
+
+    __slots__ = ("level",)
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+
+
+class HConst:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class HInd:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class HConstr:
+    __slots__ = ("ind", "index")
+
+    def __init__(self, ind: str, index: int) -> None:
+        self.ind = ind
+        self.index = index
+
+
+class HElim:
+    """A stuck eliminator: motive/cases as a closure, scrut as a value."""
+
+    __slots__ = ("ind", "motive", "cases", "env", "scrut")
+
+    def __init__(
+        self,
+        ind: str,
+        motive: Term,
+        cases: Tuple[Term, ...],
+        env: Optional[_Env],
+        scrut: "Value",
+    ) -> None:
+        self.ind = ind
+        self.motive = motive
+        self.cases = cases
+        self.env = env
+        self.scrut = scrut
+
+
+Value = Union[VSort, VLam, VPi, VSpine]
+Head = Union[HVar, HConst, HInd, HConstr, HElim, VSort, VPi]
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def _env_lookup(sigma: Optional[_Env], index: int) -> Union[Thunk, int]:
+    """The closure bound at ``Rel(index)``, or the leftover ambient index."""
+    while sigma is not None:
+        if index == 0:
+            return sigma.entry
+        index -= 1
+        sigma = sigma.rest
+    return index
+
+
+def _thunk(
+    env: Environment,
+    term: Term,
+    sigma: Optional[_Env],
+    delta: bool,
+    frozen: FrozenSet[str],
+    lazy: bool,
+) -> Thunk:
+    """A closure for ``term`` under ``sigma``, shared when env-independent.
+
+    A term with no free variables below ``sigma`` (closed, or ``sigma``
+    empty) evaluates the same under any environment, so its closure is
+    shared through the reduction cache — repeated library subterms are
+    forced and quoted once per evaluation mode.
+    """
+    if env is None or (sigma is not None and max_free_rel(term) > 0):
+        return Thunk(term, sigma)
+    cache = env.reduction_cache
+    if not cache.enabled:
+        return Thunk(term, None)
+    key = (_THUNK_TAG, id(term), delta, frozen, lazy)
+    hit = cache.get(key, _THUNK_COUNTER)
+    if hit is not ABSENT:
+        return hit[1]
+    th = Thunk(term, None)
+    # The value pins the term so its id is not recycled while the entry
+    # lives (the same discipline as every identity-keyed kernel cache).
+    cache.put(key, (term, th))
+    return th
+
+
+def _force(
+    env: Environment,
+    th: Thunk,
+    delta: bool,
+    frozen: FrozenSet[str],
+    lazy: bool,
+) -> "Value":
+    value = th.value
+    if value is None:
+        value = _eval(env, th.env, th.term, [], delta, frozen, lazy)
+        th.value = value
+    return value
+
+
+def _const_value(
+    env: Environment, name: str, frozen: FrozenSet[str], lazy: bool
+) -> "Value":
+    """The value of constant ``name``'s body (cached per environment).
+
+    Constant bodies are closed, so their values are environment- and
+    depth-independent; sharing them through the reduction cache is the
+    machine's analogue of the legacy engine caching ``whnf(Const(c))``
+    — without it every occurrence of a constant re-evaluates its body.
+    """
+    cache = env.reduction_cache
+    if not cache.enabled:
+        return _eval(env, None, env.constant(name).body, [], True, frozen, lazy)
+    key = (_CONST_TAG, name, frozen, lazy)
+    hit = cache.get(key, _THUNK_COUNTER)
+    if hit is not ABSENT:
+        return hit
+    value = _eval(env, None, env.constant(name).body, [], True, frozen, lazy)
+    cache.put(key, value)
+    return value
+
+
+def _mk_spine(value: "Value", stack: List[Thunk]) -> VSpine:
+    """Append the pending argument stack (first arg last) to ``value``."""
+    stack.reverse()
+    if type(value) is VSpine:
+        return VSpine(value.head, value.args + tuple(stack))
+    return VSpine(value, tuple(stack))
+
+
+_REC_INFOS_MEMO: dict = {}
+
+
+def _rec_infos(decl, j: int):
+    """Memoized :func:`analyze_recursive_args` (hot inside iota steps)."""
+    key = (id(decl), j)
+    entry = _REC_INFOS_MEMO.get(key)
+    if entry is None:
+        infos = analyze_recursive_args(decl, j)
+        # Pin the declaration so its id stays valid for the entry.
+        entry = _REC_INFOS_MEMO[key] = (decl, infos)
+    return entry[1]
+
+
+# Control-stack frame tags (identity-compared, see _eval).
+_FORCE = object()
+_ELIM = object()
+
+
+def _eval(
+    env: Environment,
+    sigma: Optional[_Env],
+    term: Term,
+    stack: List[Thunk],
+    delta: bool,
+    frozen: FrozenSet[str],
+    lazy: bool,
+) -> "Value":
+    """Weak-head evaluate ``term`` under ``sigma`` applied to ``stack``.
+
+    ``stack`` holds pending argument closures with the *first* argument
+    last (so ``pop()`` yields the next one).  ``lazy`` keeps unfoldable
+    constants folded at head position (the conversion oracle unfolds
+    them on demand); eager mode mirrors the legacy ``_whnf`` strategy
+    exactly.  Mirrors the legacy transitions one for one — beta is an
+    environment extension instead of ``subst``.
+
+    The machine is fully iterative: thunk forcing and eliminator
+    scrutinees run on an explicit ``control`` stack of resume frames
+    instead of Python recursion, so evaluation depth is bounded by heap,
+    not the interpreter stack (deep numerals force a closure chain as
+    long as the numeral).  ``value = None`` means the loop is descending
+    into ``term``; anything else is a finished value being delivered to
+    the innermost frame.
+    """
+    steps = _STEPS
+    # Frames: (_FORCE, thunk, saved_stack) fills the thunk and applies
+    # the saved arguments; (_ELIM, elim_term, sigma, saved_stack)
+    # receives the scrutinee's value and runs iota (or gets stuck).
+    control: List[tuple] = []
+    value = None
+    while True:
+        if value is not None:
+            if not control:
+                return value
+            frame = control.pop()
+            if frame[0] is _FORCE:
+                th = frame[1]
+                th.value = value
+                stack = frame[2]
+                if not stack:
+                    continue
+                if type(value) is VLam:
+                    sigma = _Env(stack.pop(), value.env)
+                    term = value.body
+                    value = None
+                    continue
+                value = _mk_spine(value, stack)
+                continue
+            # _ELIM frame: `value` is the evaluated scrutinee.
+            term = frame[1]
+            sigma = frame[2]
+            stack = frame[3]
+            scrut = value
+            value = None
+            if lazy:
+                scrut = _unfold_head(env, scrut, frozen)
+            if (
+                env is not None
+                and type(scrut) is VSpine
+                and type(scrut.head) is HConstr
+                and scrut.head.ind == term.ind
+            ):
+                decl = env.inductive(term.ind)
+                n_params = decl.n_params
+                j = scrut.head.index
+                ctor = decl.constructors[j]
+                arg_ths = scrut.args
+                value_ths = arg_ths[n_params:]
+                if len(value_ths) != len(ctor.args):
+                    from .inductive import InductiveError
+
+                    raise InductiveError(
+                        f"iota: {decl.name} constructor {j} expects "
+                        f"{len(ctor.args)} arguments, got {len(value_ths)}"
+                    )
+                infos = _rec_infos(decl, j)
+                if any(i is not None and i.inner_binders for i in infos):
+                    # Functional recursive arguments need the term-level
+                    # eta-expanded induction hypotheses; run the legacy
+                    # iota over variables and bind the argument closures
+                    # in the environment (substitution commutes with
+                    # reduction, so the readback is unchanged).
+                    n = len(arg_ths)
+                    reduced = iota_reduce(
+                        decl,
+                        lift(term.motive, n),
+                        tuple(lift(c, n) for c in term.cases),
+                        j,
+                        tuple(Rel(n - 1 - k) for k in range(n_params)),
+                        tuple(Rel(n - 1 - k) for k in range(n_params, n)),
+                    )
+                    for th in arg_ths:
+                        sigma = _Env(th, sigma)
+                    term = reduced
+                    continue
+                # Plain recursion: push the case's arguments (value then
+                # induction hypothesis for each recursive position) as
+                # closures — the IH is a deferred eliminator over the
+                # argument closure.
+                extra: List[Thunk] = []
+                motive_l = None
+                for i, th in enumerate(value_ths):
+                    extra.append(th)
+                    if infos[i] is not None:
+                        if motive_l is None:
+                            motive_l = lift(term.motive, 1)
+                            cases_l = tuple(lift(c, 1) for c in term.cases)
+                            ih_term = Elim(term.ind, motive_l, cases_l, Rel(0))
+                        ih = Thunk(ih_term, _Env(th, sigma))
+                        extra.append(ih)
+                term = term.cases[j]
+                extra.reverse()
+                stack.extend(extra)
+                continue
+            # Stuck: remember motive/cases as a closure, scrut as a value.
+            head = HElim(term.ind, term.motive, term.cases, sigma, scrut)
+            value = _mk_spine(VSpine(head, ()), stack)
+            continue
+        steps.count += 1
+        cls = term.__class__
+        if cls is App:
+            stack.append(_thunk(env, term.arg, sigma, delta, frozen, lazy))
+            term = term.fn
+            continue
+        if cls is Lam:
+            if stack:
+                sigma = _Env(stack.pop(), sigma)
+                term = term.body
+                continue
+            value = VLam(term.name, term.domain, term.body, sigma)
+            continue
+        if cls is Rel:
+            entry = _env_lookup(sigma, term.index)
+            if type(entry) is int:
+                value = _mk_spine(VSpine(HVar(-entry - 1), ()), stack)
+                stack = []
+                continue
+            forced = entry.value
+            if forced is None:
+                control.append((_FORCE, entry, stack))
+                term = entry.term
+                sigma = entry.env
+                stack = []
+                continue
+            if not stack:
+                value = forced
+                continue
+            if type(forced) is VLam:
+                sigma = _Env(stack.pop(), forced.env)
+                term = forced.body
+                continue
+            value = _mk_spine(forced, stack)
+            stack = []
+            continue
+        if cls is Const:
+            name = term.name
+            if delta and name not in frozen:
+                decl = env.constant(name)
+                if decl.unfoldable and not lazy:
+                    cvalue = _const_value(env, name, frozen, False)
+                    if not stack:
+                        value = cvalue
+                        continue
+                    if type(cvalue) is VLam:
+                        sigma = _Env(stack.pop(), cvalue.env)
+                        term = cvalue.body
+                        continue
+                    value = _mk_spine(cvalue, stack)
+                    stack = []
+                    continue
+            value = _mk_spine(VSpine(HConst(name), ()), stack)
+            stack = []
+            continue
+        if cls is Elim:
+            control.append((_ELIM, term, sigma, stack))
+            term = term.scrut
+            stack = []
+            continue
+        if cls is Pi:
+            value = VPi(term.name, term.domain, term.codomain, sigma)
+            if stack:
+                value = _mk_spine(VSpine(value, ()), stack)
+                stack = []
+            continue
+        if cls is Sort:
+            value = VSort(term.level)
+            if stack:
+                value = _mk_spine(VSpine(value, ()), stack)
+                stack = []
+            continue
+        if cls is Ind:
+            value = _mk_spine(VSpine(HInd(term.name), ()), stack)
+            stack = []
+            continue
+        if cls is Constr:
+            value = _mk_spine(VSpine(HConstr(term.ind, term.index), ()), stack)
+            stack = []
+            continue
+        raise TermError(f"machine: unknown term {term!r}")
+
+
+def _unfold_head(
+    env: Environment, value: "Value", frozen: FrozenSet[str]
+) -> "Value":
+    """Unfold folded constant heads (lazy mode) until the value is rigid.
+
+    Used on eliminator scrutinees and by the conversion oracle's
+    fallback: lazily-evaluated values may carry an unfoldable constant
+    at head position; iota progress and rigid-rigid comparison both
+    need them expanded.
+    """
+    while (
+        type(value) is VSpine
+        and type(value.head) is HConst
+        and value.head.name not in frozen
+    ):
+        decl = env.constant(value.head.name)
+        if not decl.unfoldable:
+            return value
+        value = _apply_value(
+            env, _const_value(env, decl.name, frozen, True),
+            list(value.args), True, frozen, True,
+        )
+    return value
+
+
+def _apply_value(
+    env: Environment,
+    value: "Value",
+    args: List[Thunk],
+    delta: bool,
+    frozen: FrozenSet[str],
+    lazy: bool,
+) -> "Value":
+    """Apply ``value`` to ``args`` (in application order)."""
+    if not args:
+        return value
+    args.reverse()
+    if type(value) is VLam:
+        sigma = _Env(args.pop(), value.env)
+        return _eval(env, sigma, value.body, args, delta, frozen, lazy)
+    return _mk_spine(value, args)
+
+
+# ---------------------------------------------------------------------------
+# Readback, whnf mode: substitute environments, do not reduce
+# ---------------------------------------------------------------------------
+#
+# The legacy _whnf returns stuck subterms with all pending substitutions
+# applied but *no* further reduction.  Readback therefore substitutes
+# each closure's environment into its term exactly like subst_many
+# (replacements readback-ed lazily and memoized per closure), which
+# makes whnf results byte-identical between the two engines.
+
+
+def _rb_thunk(th: Thunk) -> Term:
+    rb = th.rb
+    if rb is not None:
+        return rb
+    # Closure readbacks depend on the readbacks of the environment
+    # entries the term actually references; the chain can be as long as
+    # the evaluation that built it (one closure per iota step), so it is
+    # walked as an explicit post-order worklist rather than recursively.
+    # Entries are computed dependencies-first, which keeps the nested
+    # _rb_thunk calls inside _subst_env's on_rel at depth one.
+    stack: List[tuple] = [(th, False)]
+    while stack:
+        t, ready = stack.pop()
+        if t.rb is not None:
+            continue
+        if ready:
+            t.rb = _subst_env(t.term, t.env, 0)
+            continue
+        stack.append((t, True))
+        sigma = t.env
+        if sigma is None:
+            continue
+        entries: List[Thunk] = []
+        cell = sigma
+        while cell is not None:
+            entries.append(cell.entry)
+            cell = cell.rest
+        count = len(entries)
+        for i in free_rels(t.term):
+            if i < count:
+                entry = entries[i]
+                if entry.rb is None and entry.term is not None:
+                    stack.append((entry, False))
+    return th.rb
+
+
+def _subst_env(term: Term, sigma: Optional[_Env], cutoff: int) -> Term:
+    """Substitute ``sigma``'s readbacks into ``term`` under ``cutoff``
+    binders (the parallel-substitution discipline of ``subst_many``)."""
+    if sigma is None:
+        return term
+    count = sigma.length
+    if max_free_rel(term) <= cutoff:
+        return term
+    entries: List[Thunk] = []
+    cell = sigma
+    while cell is not None:
+        entries.append(cell.entry)
+        cell = cell.rest
+
+    def on_rel(i: int, cut: int) -> Term:
+        j = i - cut
+        if j < count:
+            return lift(_rb_thunk(entries[j]), cut)
+        return Rel(i - count)
+
+    return _transform_rels(term, cutoff, on_rel)
+
+
+def _rb_value(value: "Value") -> Term:
+    cls = value.__class__
+    if cls is VSort:
+        return Sort(value.level)
+    if cls is VLam:
+        return Lam(
+            value.name,
+            _subst_env(value.domain, value.env, 0),
+            _subst_env(value.body, value.env, 1),
+        )
+    if cls is VPi:
+        return Pi(
+            value.name,
+            _subst_env(value.domain, value.env, 0),
+            _subst_env(value.body, value.env, 1),
+        )
+    # VSpine
+    head = value.head
+    hcls = head.__class__
+    if hcls is HVar:
+        # whnf never introduces fresh variables, so levels are ambient.
+        result: Term = Rel(-head.level - 1)
+    elif hcls is HConst:
+        result = Const(head.name)
+    elif hcls is HInd:
+        result = Ind(head.name)
+    elif hcls is HConstr:
+        result = Constr(head.ind, head.index)
+    elif hcls is HElim:
+        result = Elim(
+            head.ind,
+            _subst_env(head.motive, head.env, 0),
+            tuple(_subst_env(c, head.env, 0) for c in head.cases),
+            _rb_value(head.scrut),
+        )
+    else:  # a stuck VSort/VPi head
+        result = _rb_value(head)
+    for arg in value.args:
+        result = App(result, _rb_thunk(arg))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Quote: full normalization of values (nf mode)
+# ---------------------------------------------------------------------------
+
+
+def _fresh(depth: int) -> Thunk:
+    """A pre-forced closure for the fresh variable at level ``depth``."""
+    th = Thunk(None, None)
+    th.value = VSpine(HVar(depth), ())
+    return th
+
+
+def _quote_thunk(
+    env: Optional[Environment],
+    th: Thunk,
+    depth: int,
+    delta: bool,
+    frozen: FrozenSet[str],
+    memo: Optional[dict] = None,
+) -> Term:
+    nfq = th.nfq
+    if nfq is not None:
+        return nfq
+    # Closed closures quote to closed terms: the result mentions neither
+    # fresh variables nor ambient ones (and the environment is unused),
+    # so it is depth-independent and safe to memoize on the closure —
+    # and, when the caller supplied a cross-call memo (the pure-beta
+    # path shares reduce._BETA_MEMO), under the term's identity too.
+    closed = th.term is not None and max_free_rel(th.term) == 0
+    if memo is not None and closed:
+        entry = memo.get(id(th.term))
+        if entry is not None:
+            th.nfq = entry[1]
+            return entry[1]
+    result = _quote(
+        env, _force(env, th, delta, frozen, False), depth, delta, frozen, memo
+    )
+    if closed:
+        th.nfq = result
+        if memo is not None and len(memo) < _QUOTE_MEMO_MAX:
+            memo[id(th.term)] = (th.term, result)
+    return result
+
+
+_QUOTE_MEMO_MAX = 1 << 19
+
+
+def _quote(
+    env: Optional[Environment],
+    value: "Value",
+    depth: int,
+    delta: bool,
+    frozen: FrozenSet[str],
+    memo: Optional[dict] = None,
+) -> Term:
+    cls = value.__class__
+    if cls is VSort:
+        return Sort(value.level)
+    if cls is VLam or cls is VPi:
+        domain_v = _eval(env, value.env, value.domain, [], delta, frozen, False)
+        domain = _quote(env, domain_v, depth, delta, frozen, memo)
+        body_v = _eval(
+            env,
+            _Env(_fresh(depth), value.env),
+            value.body,
+            [],
+            delta,
+            frozen,
+            False,
+        )
+        body = _quote(env, body_v, depth + 1, delta, frozen, memo)
+        if cls is VLam:
+            return Lam(value.name, domain, body)
+        return Pi(value.name, domain, body)
+    # VSpine
+    head = value.head
+    hcls = head.__class__
+    if hcls is HVar:
+        result: Term = Rel(depth - 1 - head.level)
+    elif hcls is HConst:
+        result = Const(head.name)
+    elif hcls is HInd:
+        result = Ind(head.name)
+    elif hcls is HConstr:
+        result = Constr(head.ind, head.index)
+    elif hcls is HElim:
+        motive_v = _eval(env, head.env, head.motive, [], delta, frozen, False)
+        cases = tuple(
+            _quote(
+                env,
+                _eval(env, head.env, c, [], delta, frozen, False),
+                depth,
+                delta,
+                frozen,
+                memo,
+            )
+            for c in head.cases
+        )
+        result = Elim(
+            head.ind,
+            _quote(env, motive_v, depth, delta, frozen, memo),
+            cases,
+            _quote(env, head.scrut, depth, delta, frozen, memo),
+        )
+    else:  # a stuck VSort/VPi head
+        result = _quote(env, head, depth, delta, frozen, memo)
+    for arg in value.args:
+        result = App(
+            result, _quote_thunk(env, arg, depth, delta, frozen, memo)
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Conversion: lazy delta oracle over values
+# ---------------------------------------------------------------------------
+
+
+def _try_unfold(env: Environment, value: "Value") -> Optional["Value"]:
+    """One delta step on a folded spine head, or None when rigid."""
+    if type(value) is not VSpine or type(value.head) is not HConst:
+        return None
+    decl = env.constant(value.head.name)
+    if not decl.unfoldable:
+        return None
+    return _apply_value(
+        env, _const_value(env, decl.name, _EMPTY_FROZEN, True),
+        list(value.args), True, _EMPTY_FROZEN, True,
+    )
+
+
+def _conv_eval(
+    env: Environment, term: Term, sigma: Optional[_Env]
+) -> "Value":
+    """Evaluate a conversion operand, sharing env-independent values.
+
+    Routing through :func:`_thunk` means a closed (or ambient-open)
+    subterm the checker compares repeatedly — a type family, a motive, a
+    constant's type — is evaluated once per environment instead of once
+    per comparison, the machine's analogue of the legacy engine's whnf
+    cache hits inside ``_conv_slow``.
+    """
+    return _force(
+        env,
+        _thunk(env, term, sigma, True, _EMPTY_FROZEN, True),
+        True,
+        _EMPTY_FROZEN,
+        True,
+    )
+
+
+def _conv_values_cached(
+    env: Environment,
+    v1: "Value",
+    v2: "Value",
+    depth: int,
+    cumulative: bool,
+) -> bool:
+    """Conversion of two values through an identity-keyed pair cache.
+
+    Sound because a conversion verdict is *depth-independent*: variable
+    heads are absolute de Bruijn levels, so the outcome never depends on
+    how many binders the comparison happens under (``depth`` only mints
+    fresh levels).  Value identities are stable exactly when the values
+    came from shared closures, which is where repeated comparisons
+    arise; both values are pinned in the entry to keep the ids valid.
+    """
+    if v1 is v2:
+        return True
+    cache = env.reduction_cache
+    if not cache.enabled:
+        return _conv_values(env, v1, v2, depth, cumulative)
+    key = (_VCONV_TAG, id(v1), id(v2), cumulative)
+    hit = cache.get(key, _CONV_COUNTER)
+    if hit is not ABSENT:
+        return hit[-1]
+    result = _conv_values(env, v1, v2, depth, cumulative)
+    cache.put(key, (v1, v2, result))
+    return result
+
+
+def _conv_thunks(
+    env: Environment, a: Thunk, b: Thunk, depth: int
+) -> bool:
+    if a is b:
+        return True
+    if (
+        a.env is b.env
+        and a.term is not None
+        and (a.term is b.term or a.term == b.term)
+    ):
+        # Equal terms under the same environment are the same value.
+        return True
+    # Closed closure pairs are plain term-level conversion problems, so
+    # they go through the same structural cache convert.py uses — both
+    # engines share entries, and repeated library arguments hit.
+    key = None
+    if a.env is None and b.env is None and a.term is not None:
+        t1, t2 = a.term, b.term
+        if t2 is not None:
+            if t1 is t2 or t1 == t2:
+                return True
+            cache = env.reduction_cache
+            if cache.enabled:
+                key = (_CONV_TAG, t1, t2, False)
+                hit = cache.get(key, _CONV_COUNTER)
+                if hit is not ABSENT:
+                    return hit
+    result = _conv_values_cached(
+        env,
+        _force(env, a, True, _EMPTY_FROZEN, True),
+        _force(env, b, True, _EMPTY_FROZEN, True),
+        depth,
+        False,
+    )
+    if key is not None:
+        env.reduction_cache.put(key, result)
+    return result
+
+
+def _conv_args(
+    env: Environment,
+    args1: Tuple[Thunk, ...],
+    args2: Tuple[Thunk, ...],
+    depth: int,
+) -> bool:
+    for a, b in zip(args1, args2):
+        if not _conv_thunks(env, a, b, depth):
+            return False
+    return True
+
+
+def _eval_body(
+    env: Environment, value: Union[VLam, VPi], fresh: Thunk
+) -> "Value":
+    return _eval(
+        env,
+        _Env(fresh, value.env),
+        value.body,
+        [],
+        True,
+        _EMPTY_FROZEN,
+        True,
+    )
+
+
+def _apply_one(env: Environment, value: "Value", arg: Thunk) -> "Value":
+    """Apply a value to one extra argument (the eta expansion)."""
+    if type(value) is VLam:
+        return _eval_body(env, value, arg)
+    if type(value) is VSpine:
+        return VSpine(value.head, value.args + (arg,))
+    return VSpine(value, (arg,))
+
+
+def _conv_values(
+    env: Environment,
+    v1: "Value",
+    v2: "Value",
+    depth: int,
+    cumulative: bool,
+) -> bool:
+    while True:
+        c1 = v1.__class__
+        c2 = v2.__class__
+        if c1 is VSort and c2 is VSort:
+            if cumulative:
+                return v1.level <= v2.level
+            return v1.level == v2.level
+        if c1 is VPi and c2 is VPi:
+            d1 = _conv_eval(env, v1.domain, v1.env)
+            d2 = _conv_eval(env, v2.domain, v2.env)
+            if not _conv_values_cached(env, d1, d2, depth, False):
+                return False
+            fresh = _fresh(depth)
+            v1 = _eval_body(env, v1, fresh)
+            v2 = _eval_body(env, v2, fresh)
+            depth += 1
+            continue  # codomains keep the cumulativity mode (covariant)
+        if c1 is VLam and c2 is VLam:
+            d1 = _conv_eval(env, v1.domain, v1.env)
+            d2 = _conv_eval(env, v2.domain, v2.env)
+            if not _conv_values_cached(env, d1, d2, depth, False):
+                return False
+            fresh = _fresh(depth)
+            v1 = _eval_body(env, v1, fresh)
+            v2 = _eval_body(env, v2, fresh)
+            depth += 1
+            cumulative = False
+            continue
+        if c1 is VSpine and c2 is VSpine:
+            h1 = v1.head
+            h2 = v2.head
+            hc1 = h1.__class__
+            hc2 = h2.__class__
+            if hc1 is HConst and hc2 is HConst and h1.name == h2.name:
+                # Lazy delta: same constant on both sides — compare the
+                # spines first and only unfold when they disagree.
+                if len(v1.args) == len(v2.args) and _conv_args(
+                    env, v1.args, v2.args, depth
+                ):
+                    if env.constant(h1.name).unfoldable:
+                        _DELTA_AVOIDED.count += 1
+                    return True
+                u1 = _try_unfold(env, v1)
+                if u1 is None:
+                    return False  # rigid constant, distinct spines
+                v1 = u1
+                v2 = _try_unfold(env, v2) or v2
+                continue
+            if hc1 is HConst:
+                u1 = _try_unfold(env, v1)
+                if u1 is not None:
+                    v1 = u1
+                    continue
+            if hc2 is HConst:
+                u2 = _try_unfold(env, v2)
+                if u2 is not None:
+                    v2 = u2
+                    continue
+            # Rigid-rigid.
+            if hc1 is not hc2:
+                return False
+            if hc1 is HVar:
+                if h1.level != h2.level:
+                    return False
+            elif hc1 is HConst or hc1 is HInd:
+                if h1.name != h2.name:
+                    return False
+            elif hc1 is HConstr:
+                if h1.ind != h2.ind or h1.index != h2.index:
+                    return False
+            elif hc1 is HElim:
+                if h1.ind != h2.ind or len(h1.cases) != len(h2.cases):
+                    return False
+                m1 = _conv_eval(env, h1.motive, h1.env)
+                m2 = _conv_eval(env, h2.motive, h2.env)
+                if not _conv_values_cached(env, m1, m2, depth, False):
+                    return False
+                for case1, case2 in zip(h1.cases, h2.cases):
+                    k1 = _conv_eval(env, case1, h1.env)
+                    k2 = _conv_eval(env, case2, h2.env)
+                    if not _conv_values_cached(env, k1, k2, depth, False):
+                        return False
+                if not _conv_values_cached(
+                    env, h1.scrut, h2.scrut, depth, False
+                ):
+                    return False
+            elif hc1 is VSort:
+                if h1.level != h2.level:
+                    return False
+            elif hc1 is VPi:
+                if not _conv_values(env, h1, h2, depth, False):
+                    return False
+            else:
+                return False
+            if len(v1.args) != len(v2.args):
+                return False
+            return _conv_args(env, v1.args, v2.args, depth)
+        # Mixed shapes: a folded constant head can still hide the match
+        # (the legacy engine unfolds it inside whnf before comparing).
+        if c1 is VSpine:
+            u1 = _try_unfold(env, v1)
+            if u1 is not None:
+                v1 = u1
+                continue
+        if c2 is VSpine:
+            u2 = _try_unfold(env, v2)
+            if u2 is not None:
+                v2 = u2
+                continue
+        # Eta: compare a function body against the other side applied to
+        # the fresh variable (both sides are rigid by now, so this
+        # matches the legacy expansion against the whnf-ed other side).
+        if c1 is VLam:
+            fresh = _fresh(depth)
+            v1 = _eval_body(env, v1, fresh)
+            v2 = _apply_one(env, v2, fresh)
+            depth += 1
+            cumulative = False
+            continue
+        if c2 is VLam:
+            fresh = _fresh(depth)
+            v1 = _apply_one(env, v1, fresh)
+            v2 = _eval_body(env, v2, fresh)
+            depth += 1
+            cumulative = False
+            continue
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def whnf_term(
+    env: Environment, term: Term, delta: bool, frozen: FrozenSet[str]
+) -> Term:
+    """Weak-head normal form via the machine (byte-identical to legacy)."""
+    value = _eval(env, None, term, [], delta, frozen, False)
+    _READBACKS.count += 1
+    return _rb_value(value)
+
+
+def nf_term(
+    env: Environment, term: Term, delta: bool, frozen: FrozenSet[str]
+) -> Term:
+    """Full normal form via evaluate-then-quote."""
+    value = _eval(env, None, term, [], delta, frozen, False)
+    _READBACKS.count += 1
+    return _quote(env, value, 0, delta, frozen)
+
+
+def beta_nf_term(term: Term, memo: Optional[dict] = None) -> Term:
+    """Pure-beta normal form (no environment: no delta, no iota).
+
+    The machine analogue of the legacy ``_beta_reduce``: with no
+    environment, constants and eliminators are rigid, so evaluation
+    contracts exactly the beta redexes — in one walk, instead of
+    substitute-then-renormalize per redex.  Beta reduction is confluent,
+    so both engines produce the same (hash-consed) normal form.
+    """
+    value = _eval(None, None, term, [], False, _EMPTY_FROZEN, False)
+    _READBACKS.count += 1
+    return _quote(None, value, 0, False, _EMPTY_FROZEN, memo)
+
+
+def conv_terms(
+    env: Environment, t1: Term, t2: Term, cumulative: bool
+) -> bool:
+    """Conversion (or cumulativity) via the lazy delta value oracle."""
+    v1 = _conv_eval(env, t1, None)
+    v2 = _conv_eval(env, t2, None)
+    return _conv_values_cached(env, v1, v2, 0, cumulative)

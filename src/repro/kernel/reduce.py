@@ -14,6 +14,23 @@ compare.  The structural rebuilders return their input unchanged when no
 child changed, so repeated normalization of an already-normal term
 allocates nothing.
 
+By default both normalizers dispatch to the NbE abstract machine in
+:mod:`repro.kernel.machine` (closure-based evaluation: beta steps are
+O(1) environment extensions instead of ``subst`` traversals), falling
+back to the substitution-based reducers in this module when the machine
+is disabled (``REPRO_DISABLE_NBE=1`` or
+:func:`~repro.kernel.machine.set_nbe`).  Both engines produce
+byte-identical results and share the same cache entries.
+
+Cache keys for ``App``/``Elim``/``Const`` inputs are *shallow
+structural* — class tag plus child identities — so structurally equal
+redexes rebuilt outside the hash-consing arena (distinct parent nodes
+over the same interned children) still hit.  This is name-safe because
+those three classes carry no binder display names: identical children
+by identity means identical bytes.  ``Lam``/``Pi`` keep whole-node
+identity keys (their names are ignored by ``__eq__``, so structural
+keys could rename binders).
+
 Terms nested deeper than Python's recursion limit raise a clean
 :class:`ReduceError` instead of ``RecursionError`` (the de Bruijn
 operations in :mod:`repro.kernel.term` are explicit-stack and have no
@@ -22,8 +39,9 @@ such limit).
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional
+from typing import FrozenSet, List, Optional, Tuple
 
+from . import machine
 from .env import ABSENT, Environment
 from .inductive import iota_reduce
 from .stats import KERNEL_STATS
@@ -65,6 +83,38 @@ _TOO_DEEP = (
 )
 
 
+def _whnf_key(
+    term: Term, delta: bool, frozen: FrozenSet[str]
+) -> Optional[Tuple]:
+    """Shallow structural cache key for whnf, or None for other shapes.
+
+    Only head shapes that whnf can actually act on are worth caching.
+    Keys combine the class tag with *child* identities, so structurally
+    equal ``App``/``Elim`` nodes rebuilt over the same interned children
+    share one entry (the fix for the 0%-hit whnf cache in the ``reduce``
+    phases, where redexes are assembled fresh each time).  None of these
+    classes carries a binder name, so a hit can never rename binders;
+    the input is pinned in the stored value to keep child ids stable.
+    """
+    cls = term.__class__
+    if cls is App:
+        return (_WHNF_TAG, 0, id(term.fn), id(term.arg), delta, frozen)
+    if cls is Elim:
+        return (
+            _WHNF_TAG,
+            1,
+            term.ind,
+            id(term.motive),
+            tuple(map(id, term.cases)),
+            id(term.scrut),
+            delta,
+            frozen,
+        )
+    if cls is Const:
+        return (_WHNF_TAG, 2, term.name, delta, frozen)
+    return None
+
+
 def whnf(
     env: Environment,
     term: Term,
@@ -78,23 +128,46 @@ def whnf(
     """
     frozen = frozen or frozenset()
     try:
-        return _whnf(env, term, delta, frozen)
+        return _whnf_dispatch(env, term, delta, frozen)
     except RecursionError:
         raise ReduceError(_TOO_DEEP) from None
+
+
+def _whnf_dispatch(
+    env: Environment, term: Term, delta: bool, frozen: FrozenSet[str]
+) -> Term:
+    if machine.nbe_enabled():
+        return _whnf_nbe(env, term, delta, frozen)
+    return _whnf(env, term, delta, frozen)
+
+
+def _whnf_nbe(
+    env: Environment, term: Term, delta: bool, frozen: FrozenSet[str]
+) -> Term:
+    # Only App/Elim/Const can reduce at the head; everything else is
+    # already weak-head normal (the legacy loop falls through in O(1),
+    # the machine would pay a full eval + readback for nothing).
+    if not isinstance(term, (App, Elim, Const)):
+        return term
+    cache = env.reduction_cache
+    key = _whnf_key(term, delta, frozen) if cache.enabled else None
+    if key is not None:
+        hit = cache.get(key, _WHNF_COUNTER)
+        if hit is not ABSENT:
+            return hit[1]
+    result = machine.whnf_term(env, term, delta, frozen)
+    if key is not None:
+        cache.put(key, (term, result))
+    return result
 
 
 def _whnf(
     env: Environment, term: Term, delta: bool, frozen: FrozenSet[str]
 ) -> Term:
-    # Only head shapes that whnf can actually act on are worth caching.
-    # Keys use object identity (the input is pinned in the value) so a
-    # hit can never rename binders via an equal-but-differently-named
-    # input; see _transform_rels for the full rationale.
     cache = env.reduction_cache
-    key = None
+    key = _whnf_key(term, delta, frozen) if cache.enabled else None
     pin = term
-    if cache.enabled and isinstance(term, (App, Elim, Const)):
-        key = (_WHNF_TAG, id(term), delta, frozen)
+    if key is not None:
         hit = cache.get(key, _WHNF_COUNTER)
         if hit is not ABSENT:
             return hit[1]
@@ -139,13 +212,49 @@ def _whnf(
     return result
 
 
+def _nf_key(
+    term: Term, delta: bool, frozen: FrozenSet[str]
+) -> Optional[Tuple]:
+    """Cache key for nf: shallow structural where name-safe, else id."""
+    cls = term.__class__
+    if cls is App:
+        return (_NF_TAG, 0, id(term.fn), id(term.arg), delta, frozen)
+    if cls is Elim:
+        return (
+            _NF_TAG,
+            1,
+            term.ind,
+            id(term.motive),
+            tuple(map(id, term.cases)),
+            id(term.scrut),
+            delta,
+            frozen,
+        )
+    if cls is Const:
+        return (_NF_TAG, 2, term.name, delta, frozen)
+    if cls is Lam or cls is Pi:
+        # Lam/Pi carry display names that __eq__ ignores; identity keys
+        # keep a hit from renaming binders.
+        return (_NF_TAG, 3, id(term), delta, frozen)
+    return None
+
+
 def nf(
     env: Environment,
     term: Term,
     delta: bool = True,
     frozen: Optional[FrozenSet[str]] = None,
 ) -> Term:
-    """Full (strong) normal form of ``term``."""
+    """Full (strong) normal form of ``term``.
+
+    Structural descent with per-node caching; head reduction dispatches
+    to the NbE machine when it is enabled, so beta/iota chains inside
+    each weak-head step are environment extensions rather than ``subst``
+    traversals while subterm normal forms stay individually cached.
+    (:func:`repro.kernel.machine.nf_term` is the machine's monolithic
+    evaluate-then-quote normalizer; the differential tests compare it
+    against this path.)
+    """
     frozen = frozen or frozenset()
     try:
         return _nf(env, term, delta, frozen)
@@ -159,9 +268,8 @@ def _nf(
     if isinstance(term, (Rel, Sort, Ind, Constr)):
         return term
     cache = env.reduction_cache
-    key = None
-    if cache.enabled:
-        key = (_NF_TAG, id(term), delta, frozen)
+    key = _nf_key(term, delta, frozen) if cache.enabled else None
+    if key is not None:
         hit = cache.get(key, _NF_COUNTER)
         if hit is not ABSENT:
             return hit[1]
@@ -174,7 +282,7 @@ def _nf(
 def _nf_uncached(
     env: Environment, term: Term, delta: bool, frozen: FrozenSet[str]
 ) -> Term:
-    term = _whnf(env, term, delta, frozen)
+    term = _whnf_dispatch(env, term, delta, frozen)
     if isinstance(term, (Rel, Sort, Const, Ind, Constr)):
         return term
     if isinstance(term, App):
@@ -271,6 +379,11 @@ def _beta_reduce(term: Term) -> Term:
             _BETA_MEMO.clear()
         _BETA_MEMO[id(term)] = (term, result)
         return result
+    # beta_reduce stays substitution-based in both engine modes: it is a
+    # pure term-level function whose per-node memo (plus hash consing)
+    # beats monolithic evaluate-and-quote on the repeated, mostly-normal
+    # goals the tactics engine feeds it.  machine.beta_nf_term is the
+    # machine equivalent, kept for the differential tests.
     return _beta_reduce_node(term)
 
 
@@ -320,24 +433,84 @@ def beta_iota_reduce(env: Environment, term: Term) -> Term:
 
 
 def unfold_constant(env: Environment, term: Term, name: str) -> Term:
-    """Delta-unfold exactly the constant ``name`` everywhere in ``term``."""
+    """Delta-unfold exactly the constant ``name`` everywhere in ``term``.
+
+    Explicit-stack (no recursion limit on deep terms) with per-node
+    memoization and no-change node reuse: subtrees not mentioning the
+    constant come back identical (``is``), so unfolding in an
+    already-unfolded term allocates nothing.  The body is closed, so it
+    substitutes in without lifting.
+    """
     decl = env.constant(name)
-    if decl.body is None:
+    body = decl.body
+    if body is None:
         raise ReduceError(f"constant {name!r} has no body to unfold")
 
-    def go(t: Term) -> Term:
-        if isinstance(t, Const) and t.name == name:
-            return decl.body
-        if isinstance(t, App):
-            return App(go(t.fn), go(t.arg))
-        if isinstance(t, Lam):
-            return Lam(t.name, go(t.domain), go(t.body))
-        if isinstance(t, Pi):
-            return Pi(t.name, go(t.domain), go(t.codomain))
-        if isinstance(t, Elim):
-            return Elim(
-                t.ind, go(t.motive), tuple(go(c) for c in t.cases), go(t.scrut)
-            )
-        return t
-
-    return go(term)
+    # memo: id(node) -> result; shared subtrees rebuild once.  Keys stay
+    # valid because every keyed node is alive in the input term.
+    memo: dict = {}
+    _VISIT, _BUILD = 0, 1
+    todo: List[Tuple[int, Term]] = [(_VISIT, term)]
+    results: List[Term] = []
+    while todo:
+        op, t = todo.pop()
+        cls = t.__class__
+        if op == _VISIT:
+            done = memo.get(id(t))
+            if done is not None:
+                results.append(done)
+                continue
+            if cls is Const:
+                r = body if t.name == name else t
+                memo[id(t)] = r
+                results.append(r)
+            elif cls is App:
+                todo.append((_BUILD, t))
+                todo.append((_VISIT, t.arg))
+                todo.append((_VISIT, t.fn))
+            elif cls is Lam:
+                todo.append((_BUILD, t))
+                todo.append((_VISIT, t.body))
+                todo.append((_VISIT, t.domain))
+            elif cls is Pi:
+                todo.append((_BUILD, t))
+                todo.append((_VISIT, t.codomain))
+                todo.append((_VISIT, t.domain))
+            elif cls is Elim:
+                todo.append((_BUILD, t))
+                todo.append((_VISIT, t.scrut))
+                for c in reversed(t.cases):
+                    todo.append((_VISIT, c))
+                todo.append((_VISIT, t.motive))
+            else:
+                memo[id(t)] = t
+                results.append(t)
+            continue
+        if cls is App:
+            arg = results.pop()
+            fn = results.pop()
+            r = t if (fn is t.fn and arg is t.arg) else App(fn, arg)
+        elif cls is Lam:
+            b = results.pop()
+            d = results.pop()
+            r = t if (d is t.domain and b is t.body) else Lam(t.name, d, b)
+        elif cls is Pi:
+            b = results.pop()
+            d = results.pop()
+            r = t if (d is t.domain and b is t.codomain) else Pi(t.name, d, b)
+        else:  # Elim
+            scrut = results.pop()
+            cases = [results.pop() for _ in t.cases]
+            cases.reverse()
+            motive = results.pop()
+            if (
+                motive is t.motive
+                and scrut is t.scrut
+                and all(a is b for a, b in zip(cases, t.cases))
+            ):
+                r = t
+            else:
+                r = Elim(t.ind, motive, tuple(cases), scrut)
+        memo[id(t)] = r
+        results.append(r)
+    return results[0]

@@ -30,6 +30,27 @@ CACHES_DISABLED_BY_ENV: bool = os.environ.get(
 ) not in ("", "0")
 
 
+class EventCounter:
+    """A monotone event count (no hit/miss structure).
+
+    Used by the abstract machine (:mod:`repro.kernel.machine`) for
+    quantities that are not cache lookups: evaluation steps, closure
+    allocations, readback passes, delta unfolds avoided by the lazy
+    conversion oracle.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def __repr__(self) -> str:
+        return f"EventCounter(count={self.count})"
+
+
 class CacheCounter:
     """Hit/miss counters for one memo table."""
 
@@ -69,15 +90,19 @@ class KernelStats:
     * one :class:`CacheCounter` per memo table, created on demand:
       ``lift``, ``subst``, ``free_rels`` (de Bruijn ops), ``whnf``,
       ``nf`` (reduction cache), ``conv`` (conversion), ``infer``
-      (type inference).
+      (type inference), ``machine_thunk`` (NbE closure sharing);
+    * one :class:`EventCounter` per machine event, created on demand:
+      ``machine_steps``, ``machine_closures``, ``machine_readbacks``,
+      ``machine_delta_avoided`` (see :mod:`repro.kernel.machine`).
     """
 
-    __slots__ = ("constructions", "intern_hits", "tables")
+    __slots__ = ("constructions", "intern_hits", "tables", "events")
 
     def __init__(self) -> None:
         self.constructions = 0
         self.intern_hits = 0
         self.tables: Dict[str, CacheCounter] = {}
+        self.events: Dict[str, EventCounter] = {}
 
     def counter(self, name: str) -> CacheCounter:
         """The counter for memo table ``name`` (created on first use)."""
@@ -85,6 +110,13 @@ class KernelStats:
         if table is None:
             table = self.tables[name] = CacheCounter()
         return table
+
+    def event(self, name: str) -> EventCounter:
+        """The event counter ``name`` (created on first use)."""
+        event = self.events.get(name)
+        if event is None:
+            event = self.events[name] = EventCounter()
+        return event
 
     @property
     def intern_hit_rate(self) -> float:
@@ -98,6 +130,8 @@ class KernelStats:
         self.intern_hits = 0
         for table in self.tables.values():
             table.reset()
+        for event in self.events.values():
+            event.reset()
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-serializable copy of all counters."""
@@ -113,6 +147,9 @@ class KernelStats:
                 }
                 for name, c in sorted(self.tables.items())
             },
+            "events": {
+                name: e.count for name, e in sorted(self.events.items())
+            },
         }
 
     def report(self) -> str:
@@ -127,6 +164,8 @@ class KernelStats:
                 f"{name:<13} : {c.hits} hits / {c.misses} misses "
                 f"({c.hit_rate:.1%})"
             )
+        for name, e in sorted(self.events.items()):
+            lines.append(f"{name:<13} : {e.count}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -121,7 +121,12 @@ def _infer(env: Environment, ctx: Context, term: Term) -> Term:
         return Pi(term.name, term.domain, body_ty)
 
     if isinstance(term, App):
-        fn_ty = whnf(env, infer(env, ctx, term.fn))
+        fn_ty = infer(env, ctx, term.fn)
+        if not isinstance(fn_ty, Pi):
+            # Inferred function types are almost always Pi already;
+            # dispatching to the reduction engine (either one) only pays
+            # off when there is an actual redex or constant to unfold.
+            fn_ty = whnf(env, fn_ty)
         if not isinstance(fn_ty, Pi):
             raise TypeError_(
                 f"application of a non-function: head has type {fn_ty!r}"
@@ -162,7 +167,9 @@ def check(env: Environment, ctx: Context, term: Term, expected: Term) -> None:
 
 def infer_sort(env: Environment, ctx: Context, term: Term) -> Sort:
     """Infer the type of ``term`` and require it to be a sort."""
-    ty = whnf(env, infer(env, ctx, term))
+    ty = infer(env, ctx, term)
+    if not isinstance(ty, Sort):
+        ty = whnf(env, ty)
     if not isinstance(ty, Sort):
         raise TypeError_(f"expected a type, got a term of type {ty!r}")
     return ty

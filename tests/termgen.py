@@ -1,0 +1,70 @@
+"""Seeded random well-scoped term generator, shared by the fuzz suites.
+
+Extracted from the scope-checker fuzzer so the NbE differential tests
+(:mod:`test_kernel_machine`) and the analysis tests draw from the same
+distribution: every generated term is well-scoped (all ``Rel`` indices
+bound), mentions only stdlib globals (``add``/``pred``/``eq_sym``,
+``nat``/``bool``/``eq``), and uses a plain ``random.Random`` so failures
+replay from the printed seed.  Terms are *not* necessarily well-typed —
+both reduction engines must agree on ill-typed-but-scoped garbage too.
+"""
+
+from repro.kernel.term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+)
+
+
+def random_term(rng, env, depth, binders):
+    """A random *well-scoped* term with ``binders`` enclosing binders."""
+    leaves = ["sort", "const", "ind", "constr"]
+    if binders > 0:
+        leaves.append("rel")
+    if depth <= 0:
+        kind = rng.choice(leaves)
+    else:
+        kind = rng.choice(leaves + ["lam", "pi", "app", "elim"])
+    if kind == "rel":
+        return Rel(rng.randrange(binders))
+    if kind == "sort":
+        return Sort(rng.choice([-1, 0, 1, 2]))
+    if kind == "const":
+        return Const(rng.choice(["add", "pred", "eq_sym"]))
+    if kind == "ind":
+        return Ind(rng.choice(["nat", "bool", "eq"]))
+    if kind == "constr":
+        return Constr("nat", rng.randrange(2))
+    if kind == "lam":
+        return Lam(
+            "x",
+            random_term(rng, env, depth - 1, binders),
+            random_term(rng, env, depth - 1, binders + 1),
+        )
+    if kind == "pi":
+        return Pi(
+            "x",
+            random_term(rng, env, depth - 1, binders),
+            random_term(rng, env, depth - 1, binders + 1),
+        )
+    if kind == "app":
+        return App(
+            random_term(rng, env, depth - 1, binders),
+            random_term(rng, env, depth - 1, binders),
+        )
+    # elim over nat: exactly two cases, all parts in scope.
+    return Elim(
+        "nat",
+        random_term(rng, env, depth - 1, binders),
+        (
+            random_term(rng, env, depth - 1, binders),
+            random_term(rng, env, depth - 1, binders),
+        ),
+        random_term(rng, env, depth - 1, binders),
+    )

@@ -99,52 +99,8 @@ class TestTruePositives:
 # -- Seeded fuzzing (stdlib random only) -------------------------------------
 
 
-def random_term(rng, env, depth, binders):
-    """A random *well-scoped* term with ``binders`` enclosing binders."""
-    leaves = ["sort", "const", "ind", "constr"]
-    if binders > 0:
-        leaves.append("rel")
-    if depth <= 0:
-        kind = rng.choice(leaves)
-    else:
-        kind = rng.choice(leaves + ["lam", "pi", "app", "elim"])
-    if kind == "rel":
-        return Rel(rng.randrange(binders))
-    if kind == "sort":
-        return Sort(rng.choice([-1, 0, 1, 2]))
-    if kind == "const":
-        return Const(rng.choice(["add", "pred", "eq_sym"]))
-    if kind == "ind":
-        return Ind(rng.choice(["nat", "bool", "eq"]))
-    if kind == "constr":
-        return Constr("nat", rng.randrange(2))
-    if kind == "lam":
-        return Lam(
-            "x",
-            random_term(rng, env, depth - 1, binders),
-            random_term(rng, env, depth - 1, binders + 1),
-        )
-    if kind == "pi":
-        return Pi(
-            "x",
-            random_term(rng, env, depth - 1, binders),
-            random_term(rng, env, depth - 1, binders + 1),
-        )
-    if kind == "app":
-        return App(
-            random_term(rng, env, depth - 1, binders),
-            random_term(rng, env, depth - 1, binders),
-        )
-    # elim over nat: exactly two cases, all parts in scope.
-    return Elim(
-        "nat",
-        random_term(rng, env, depth - 1, binders),
-        (
-            random_term(rng, env, depth - 1, binders),
-            random_term(rng, env, depth - 1, binders),
-        ),
-        random_term(rng, env, depth - 1, binders),
-    )
+# random_term lives in termgen so the NbE differential fuzzer shares it.
+from tests.termgen import random_term  # noqa: E402
 
 
 def bump_first_rel(term, binders=0):

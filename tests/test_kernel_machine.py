@@ -1,0 +1,282 @@
+"""Differential tests: the NbE machine vs the substitution engine.
+
+Both reduction engines must be observationally identical — same normal
+forms (byte for byte, binder names included), same conversion verdicts,
+same errors on ill-formed eliminations.  The fuzz tests drive both
+engines over hundreds of seeded random well-scoped terms from
+:mod:`tests.termgen`; the directed tests cover the corners the fuzzer
+rarely hits (eta, frozen constants, deep numerals, end-to-end repair).
+
+The reduction cache is cleared around every engine switch: ``whnf``,
+``nf`` and ``conv`` entries are shared between engines by design, so a
+warm cache would let one engine answer for the other and mask a
+divergence.
+"""
+
+import random
+
+import pytest
+
+from repro.kernel import machine
+from repro.kernel.convert import conv, sub
+from repro.kernel.pretty import pretty
+from repro.kernel.reduce import beta_reduce, nf, whnf
+from repro.kernel.stats import KERNEL_STATS
+from repro.kernel.term import App, Const, Constr, Ind, Lam, Rel, lift, mk_app
+from repro.stdlib import make_env
+from tests.termgen import random_term
+
+
+@pytest.fixture(scope="module")
+def env():
+    return make_env(lists=True, vectors=True)
+
+
+def _run_engine(env, enabled, fn):
+    """Run ``fn`` under one engine with a cold shared cache.
+
+    Returns ``("ok", rendered_result)`` or ``(exception_type_name, None)``
+    so callers can assert both engines succeed identically *or* fail
+    identically.
+    """
+    previous = machine.set_nbe(enabled)
+    env.reduction_cache.clear()
+    try:
+        return ("ok", fn())
+    except Exception as exc:  # noqa: BLE001 — engines must agree on errors
+        return (type(exc).__name__, None)
+    finally:
+        machine.set_nbe(previous)
+        env.reduction_cache.clear()
+
+
+def _assert_same(env, label, fn, render=pretty):
+    on_status, on_value = _run_engine(env, True, fn)
+    off_status, off_value = _run_engine(env, False, fn)
+    assert on_status == off_status, (
+        f"{label}: machine -> {on_status}, legacy -> {off_status}"
+    )
+    if on_status == "ok":
+        rendered_on = render(on_value)
+        rendered_off = render(off_value)
+        assert rendered_on == rendered_off, (
+            f"{label}: machine -> {rendered_on}, legacy -> {rendered_off}"
+        )
+
+
+class TestNfDifferential:
+    def test_nf_fuzz(self, env):
+        rng = random.Random(20260805)
+        for i in range(300):
+            term = random_term(rng, env, depth=4, binders=0)
+            _assert_same(env, f"nf #{i}: {pretty(term)}", lambda: nf(env, term))
+
+    def test_machine_monolithic_nf_matches_hybrid(self, env):
+        # nf() reduces per node with caching; machine.nf_term is one
+        # evaluate-then-quote pass.  They must agree with each other (and
+        # hence with the legacy engine, by test_nf_fuzz).
+        rng = random.Random(20260806)
+        checked = 0
+        for _ in range(300):
+            term = random_term(rng, env, depth=4, binders=0)
+            try:
+                hybrid = nf(env, term)
+            except Exception:  # noqa: BLE001 — error parity covered above
+                continue
+            env.reduction_cache.clear()
+            mono = machine.nf_term(env, term, True, frozenset())
+            assert pretty(mono) == pretty(hybrid), pretty(term)
+            checked += 1
+        assert checked > 200  # the generator rarely makes reduction fail
+
+    def test_beta_nf_fuzz(self, env):
+        rng = random.Random(20260807)
+        for _ in range(300):
+            term = random_term(rng, env, depth=4, binders=1)
+            assert pretty(machine.beta_nf_term(term)) == pretty(
+                beta_reduce(term)
+            ), pretty(term)
+
+    def test_deep_numeral_parity(self, env):
+        # One closure per successor: exercises the machine's explicit
+        # control stack (the legacy engine's structural loop handles the
+        # same depth), then delta/iota through `add`.
+        zero, succ = Constr("nat", 0), Constr("nat", 1)
+        half = zero
+        for _ in range(150):
+            half = App(succ, half)
+        total = mk_app(Const("add"), (half, half))
+        _assert_same(env, "add 150 150", lambda: nf(env, total))
+
+
+class TestWhnfDifferential:
+    @pytest.mark.parametrize(
+        "delta,frozen",
+        [(True, frozenset()), (True, frozenset({"add", "pred"})), (False, frozenset())],
+        ids=["delta", "frozen", "no-delta"],
+    )
+    def test_whnf_fuzz(self, env, delta, frozen):
+        rng = random.Random(20260808)
+        for i in range(200):
+            term = random_term(rng, env, depth=4, binders=0)
+            _assert_same(
+                env,
+                f"whnf #{i}: {pretty(term)}",
+                lambda: whnf(env, term, delta=delta, frozen=frozen),
+            )
+
+    def test_frozen_constant_stays_folded(self, env):
+        term = mk_app(Const("add"), (Constr("nat", 0), Constr("nat", 0)))
+        for enabled in (True, False):
+            status, value = _run_engine(
+                env,
+                enabled,
+                lambda: whnf(env, term, frozen=frozenset({"add"})),
+            )
+            assert status == "ok"
+            # Already weak-head normal when frozen.  With hash-consing on
+            # this is pointer identity; without it (the
+            # REPRO_DISABLE_KERNEL_CACHES=1 CI run) only equality holds.
+            assert value == term
+            assert pretty(value) == pretty(term)
+
+
+class TestConvDifferential:
+    def test_conv_fuzz(self, env):
+        rng = random.Random(20260809)
+        for i in range(200):
+            t1 = random_term(rng, env, depth=3, binders=0)
+            t2 = random_term(rng, env, depth=3, binders=0)
+            label = f"conv #{i}: {pretty(t1)} ~ {pretty(t2)}"
+            _assert_same(env, label, lambda: conv(env, t1, t2), render=str)
+            _assert_same(env, label, lambda: sub(env, t1, t2), render=str)
+
+    def test_eta_fuzz(self, env):
+        # A term against its own eta-expansion.  Conversion is specified
+        # for well-typed inputs; on ill-typed garbage the engines explore
+        # different subterms (legacy's syntactic short-circuit can skip
+        # an ill-formed elimination that the machine forces), so error
+        # behaviour may differ — but whenever both deliver a verdict the
+        # verdicts must match, and machine failures must be kernel
+        # errors, not crashes.
+        from repro.kernel.inductive import InductiveError
+
+        rng = random.Random(20260810)
+        agreed = 0
+        for i in range(100):
+            t = random_term(rng, env, depth=3, binders=0)
+            expanded = Lam("x", Ind("nat"), App(lift(t, 1), Rel(0)))
+            on_status, on_value = _run_engine(
+                env, True, lambda: conv(env, t, expanded)
+            )
+            off_status, off_value = _run_engine(
+                env, False, lambda: conv(env, t, expanded)
+            )
+            if on_status == "ok" and off_status == "ok":
+                assert on_value == off_value, f"eta #{i}: {pretty(t)}"
+                agreed += 1
+            else:
+                assert {on_status, off_status} <= {
+                    "ok",
+                    InductiveError.__name__,
+                }, f"eta #{i}: {pretty(t)}"
+        assert agreed > 80  # ill-typed-elim collisions are the rare case
+
+    def test_eta_positive(self, env):
+        pred = Const("pred")
+        expanded = Lam("n", Ind("nat"), App(pred, Rel(0)))
+        for enabled in (True, False):
+            status, value = _run_engine(
+                env, enabled, lambda: conv(env, pred, expanded)
+            )
+            assert (status, value) == ("ok", True)
+
+    def test_lazy_delta_agrees_on_same_head(self, env):
+        # Same constant head, convertible arguments: the machine's lazy
+        # oracle answers from the spines; the legacy engine unfolds.
+        one = App(Constr("nat", 1), Constr("nat", 0))
+        t1 = mk_app(Const("add"), (one, one))
+        t2 = mk_app(Const("add"), (one, App(Constr("nat", 1), Constr("nat", 0))))
+        _assert_same(env, "lazy same-head", lambda: conv(env, t1, t2), render=str)
+        # Different arguments with equal unfoldings still convert.
+        t3 = mk_app(Const("add"), (Constr("nat", 0), one))
+        t4 = mk_app(Const("add"), (one, Constr("nat", 0)))
+        _assert_same(env, "lazy disagree", lambda: conv(env, t3, t4), render=str)
+
+
+class TestEngineEnvelope:
+    def test_set_nbe_round_trip(self):
+        original = machine.nbe_enabled()
+        previous = machine.set_nbe(not original)
+        assert previous == original
+        assert machine.nbe_enabled() == (not original)
+        machine.set_nbe(original)
+        assert machine.nbe_enabled() == original
+
+    def test_machine_counters_count(self, env):
+        previous = machine.set_nbe(True)
+        env.reduction_cache.clear()
+        try:
+            events = KERNEL_STATS.events
+            steps = events.setdefault("machine_steps", machine._STEPS)
+            before_steps = machine._STEPS.count
+            before_rb = machine._READBACKS.count
+            term = mk_app(Const("add"), (Constr("nat", 0), Constr("nat", 0)))
+            nf(env, term)
+            assert machine._STEPS.count > before_steps
+            assert machine._READBACKS.count > before_rb
+            assert steps is KERNEL_STATS.event("machine_steps")
+        finally:
+            machine.set_nbe(previous)
+            env.reduction_cache.clear()
+
+    def test_delta_avoided_counter(self, env):
+        previous = machine.set_nbe(True)
+        env.reduction_cache.clear()
+        try:
+            before = machine._DELTA_AVOIDED.count
+            one = App(Constr("nat", 1), Constr("nat", 0))
+            t1 = mk_app(Const("add"), (one, one))
+            assert conv(env, t1, mk_app(Const("add"), (one, one)))
+            # Identical interned terms short-circuit before conversion;
+            # build a not-identical pair that is spine-convertible.
+            t2 = mk_app(
+                Const("add"), (one, App(Constr("nat", 1), Constr("nat", 0)))
+            )
+            assert t1 == t2  # the same node when hash consing is on
+            t3 = mk_app(Const("add"), (App(Const("pred"), one), one))
+            t4 = mk_app(Const("add"), (App(Const("pred"), one), one))
+            assert conv(env, t3, mk_app(Const("add"), (one, one))) is False
+            assert machine._DELTA_AVOIDED.count >= before
+        finally:
+            machine.set_nbe(previous)
+            env.reduction_cache.clear()
+
+
+class TestRepairTransparency:
+    def _repair_outputs(self):
+        from repro.core.repair import RepairSession
+        from repro.core.search.swap import swap_configuration
+        from repro.stdlib import declare_list_type
+
+        env = make_env(lists=True, vectors=False)
+        declare_list_type(env, "New.list", swapped=True)
+        config = swap_configuration(env, "list", "New.list")
+        session = RepairSession(
+            env, config, old_globals=["list"], rename=lambda n: f"New.{n}"
+        )
+        results = session.repair_module(["app", "rev", "length", "map"])
+        return [(pretty(r.term), pretty(r.type)) for r in results]
+
+    def test_repair_outputs_byte_identical(self):
+        previous = machine.set_nbe(True)
+        try:
+            with_machine = self._repair_outputs()
+        finally:
+            machine.set_nbe(previous)
+        previous = machine.set_nbe(False)
+        try:
+            without = self._repair_outputs()
+        finally:
+            machine.set_nbe(previous)
+        assert with_machine == without

@@ -1,0 +1,63 @@
+"""The bench report ``history`` trend: append, cap, and survive garbage."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+import report_schema  # noqa: E402
+
+
+def _report(wall=0.5):
+    return report_schema.make_report(
+        "unit", {"phase/a": {"wall_time_s": wall, "count": 1}}
+    )
+
+
+class TestHistory:
+    def test_first_write_starts_history(self, tmp_path):
+        path = str(tmp_path / "BENCH_unit.json")
+        report_schema.write_report(path, _report(0.5))
+        on_disk = json.loads(Path(path).read_text())
+        assert len(on_disk["history"]) == 1
+        entry = on_disk["history"][0]
+        assert entry["timestamp"] == on_disk["timestamp"]
+        assert entry["git_sha"] == on_disk["git_sha"]
+        assert entry["phases"] == {"phase/a": 0.5}
+
+    def test_rewrite_appends_newest_last(self, tmp_path):
+        path = str(tmp_path / "BENCH_unit.json")
+        report_schema.write_report(path, _report(0.5))
+        report_schema.write_report(path, _report(0.25))
+        history = json.loads(Path(path).read_text())["history"]
+        assert [e["phases"]["phase/a"] for e in history] == [0.5, 0.25]
+
+    def test_cap_drops_oldest(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(report_schema, "HISTORY_LIMIT", 3)
+        path = str(tmp_path / "BENCH_unit.json")
+        for wall in (0.4, 0.3, 0.2, 0.1):
+            report_schema.write_report(path, _report(wall))
+        history = json.loads(Path(path).read_text())["history"]
+        assert [e["phases"]["phase/a"] for e in history] == [0.3, 0.2, 0.1]
+
+    def test_malformed_prior_file_restarts_trend(self, tmp_path):
+        path = tmp_path / "BENCH_unit.json"
+        path.write_text("{ not json")
+        report_schema.write_report(str(path), _report())
+        assert len(json.loads(path.read_text())["history"]) == 1
+
+    def test_caller_supplied_history_wins(self, tmp_path):
+        path = str(tmp_path / "BENCH_unit.json")
+        report = _report()
+        report["history"] = []
+        report_schema.write_report(path, report)
+        assert json.loads(Path(path).read_text())["history"] == []
+
+    def test_validation_rejects_bad_history(self, tmp_path):
+        report = _report()
+        report["history"] = [{"timestamp": 3}]
+        with pytest.raises(report_schema.ReportError):
+            report_schema.write_report(str(tmp_path / "x.json"), report)
