@@ -1,0 +1,224 @@
+"""Write BENCH_service.json: batch wall-time scaling across pool widths.
+
+Runs the eight-job six-case batch (:func:`repro.service.cases.six_case_jobs`)
+through the service scheduler at ``--jobs 1``, ``2``, and ``4`` with a cold
+store each time, then replays the ``jobs=1`` batch against its warm store.
+Every cold width uses the *subprocess* runner — including ``jobs=1`` —
+so the scaling ratios compare identical per-job cost and measure only
+the pool, not in-process vs subprocess dispatch overhead.
+
+Phases (shared schema, :mod:`report_schema`)::
+
+    cold/jobs1, cold/jobs2, cold/jobs4   # fresh store, subprocess workers
+    warm/jobs1                           # same store as cold/jobs1 => cached
+
+plus a ``scaling`` extra with the ``jobsN / jobs1`` wall-time ratios.
+The run fails when ``cold/jobs4`` is not at least ``--max-ratio`` (default
+0.8) of ``cold/jobs1`` — parallel dispatch must actually buy wall time —
+or when a single service job's repair output is not byte-identical to the
+``Repair`` vernacular (the service must be a scheduler, not a semantics).
+The scaling gate needs parallel hardware: on a box with fewer than two
+usable CPUs (single-core CI containers), the ratios are still recorded
+but the hard check is skipped — CPU-bound workers cannot beat serial on
+one core, and failing the bench there would measure the machine, not
+the pool.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_report.py \
+        [OUTPUT.json] [--max-ratio 0.8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import Any, Dict, List, Tuple
+
+from report_schema import make_report, write_report
+
+from repro.service import (
+    BatchOptions,
+    ResultStore,
+    run_batch,
+    subprocess_runner,
+)
+from repro.service.cases import six_case_jobs
+
+WIDTHS = (1, 2, 4)
+
+
+def _run_width(jobs: List[Any], width: int, store_dir: str) -> Any:
+    report = run_batch(
+        jobs,
+        BatchOptions(
+            jobs=width,
+            store=ResultStore(store_dir),
+            timeout_s=600,
+            backoff_s=0.0,
+        ),
+        runner=subprocess_runner(),
+        batch=f"six-cases/jobs{width}",
+    )
+    bad = [o for o in report.outcomes if not o.ok]
+    if bad:
+        raise RuntimeError(
+            "batch failed at jobs=%d: %s"
+            % (width, ", ".join(f"{o.job.name}={o.status}" for o in bad))
+        )
+    return report
+
+
+def _phase(report: Any, width: int) -> Dict[str, Any]:
+    return {
+        "wall_time_s": round(report.wall_time_s, 6),
+        "count": len(report.outcomes),
+        "jobs": width,
+        "workers": min(width, len(report.outcomes)),
+        "cache_hit_rates": {"store": round(report.cache_hit_rate, 4)},
+    }
+
+
+def check_transparency() -> None:
+    """A service job must repair to the byte-identical vernacular output."""
+    from repro.cases.quickstart import setup_environment
+    from repro.commands import CommandSession
+    from repro.kernel.pretty import pretty
+    from repro.service import RepairJob
+    from repro.service.job import fingerprint_source
+
+    setup = "repro.service.cases:quickstart_env"
+    job = RepairJob(
+        name="transparency",
+        setup=setup,
+        target="rev_app_distr",
+        config={"kind": "auto", "a": "list", "b": "New.list"},
+        old=("list",),
+        rename={"kind": "suffix", "value": "'"},
+        env_fingerprint=fingerprint_source(setup),
+    )
+    record = run_batch([job], BatchOptions(jobs=1)).outcomes[0].result
+    session = CommandSession(setup_environment())
+    vernacular = session.execute("Repair list New.list in rev_app_distr").results[0]
+    if (
+        record["new_name"] != vernacular.new_name
+        or record["term"] != pretty(vernacular.term)
+        or record["type"] != pretty(vernacular.type)
+    ):
+        raise RuntimeError(
+            "service job output differs from the Repair vernacular — the "
+            "service layer must not change repair semantics"
+        )
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_report() -> Tuple[dict, dict]:
+    jobs = six_case_jobs()
+    phases: Dict[str, Dict[str, Any]] = {}
+    walls: Dict[int, float] = {}
+    utilization: Dict[str, float] = {}
+    warm_store: str = ""
+    with tempfile.TemporaryDirectory(prefix="bench_service_") as tmp:
+        for width in WIDTHS:
+            store_dir = f"{tmp}/store{width}"
+            report = _run_width(jobs, width, store_dir)
+            phases[f"cold/jobs{width}"] = _phase(report, width)
+            walls[width] = report.wall_time_s
+            utilization[f"jobs{width}"] = round(report.worker_utilization, 4)
+            if width == 1:
+                warm_store = store_dir
+        warm = run_batch(
+            jobs,
+            BatchOptions(jobs=1, store=ResultStore(warm_store)),
+            batch="six-cases/warm",
+        )
+        cached = sum(1 for o in warm.outcomes if o.status == "cached")
+        if cached != len(warm.outcomes):
+            raise RuntimeError(
+                f"warm rerun expected all cached, got {warm.counts}"
+            )
+        entry = _phase(warm, 1)
+        phases["warm/jobs1"] = entry
+    scaling = {
+        f"jobs{width}_vs_jobs1": round(walls[width] / max(walls[1], 1e-9), 4)
+        for width in WIDTHS
+        if width != 1
+    }
+    scaling["warm_vs_cold_jobs1"] = round(
+        phases["warm/jobs1"]["wall_time_s"] / max(walls[1], 1e-9), 4
+    )
+    report = make_report(
+        "service",
+        phases,
+        scaling=scaling,
+        worker_utilization=utilization,
+        cpus=usable_cpus(),
+    )
+    return report, scaling
+
+
+def print_summary(report: dict, scaling: dict) -> None:
+    for name in sorted(report["phases"]):
+        entry = report["phases"][name]
+        print(
+            f"{name:<12} {entry['wall_time_s']:8.4f}s  "
+            f"x{entry['count']}  jobs={entry['jobs']}  "
+            f"store={entry['cache_hit_rates']['store']:.0%}"
+        )
+    for name, ratio in sorted(scaling.items()):
+        print(f"scaling {name}: {ratio}")
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="BENCH_service.json")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=0.8,
+        help="fail when cold/jobs4 exceeds this fraction of cold/jobs1 "
+        "(0 disables the check; default: 0.8)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    try:
+        check_transparency()
+        print("service transparency: repair output identical to vernacular")
+        report, scaling = build_report()
+        write_report(args.output, report)
+    except Exception as exc:
+        # A failed batch or malformed report must fail the job instead of
+        # leaving a partial report behind (write_report is atomic).
+        print(f"bench_service_report: {exc}", file=sys.stderr)
+        return 1
+    print_summary(report, scaling)
+    print(f"wrote {args.output}")
+    ratio = scaling["jobs4_vs_jobs1"]
+    cpus = report["cpus"]
+    if args.max_ratio and cpus < 2:
+        print(
+            f"note: {cpus} usable CPU(s) — recording scaling ratios but "
+            "skipping the pool-scaling gate (parallel workers cannot beat "
+            "serial on one core)"
+        )
+    elif args.max_ratio and ratio > args.max_ratio:
+        print(
+            f"bench_service_report: cold/jobs4 is {ratio}x of cold/jobs1 "
+            f"(limit {args.max_ratio}) — the pool is not scaling",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

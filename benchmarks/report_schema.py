@@ -14,6 +14,8 @@ without per-script knowledge::
         "<phase>": {
           "wall_time_s": <float >= 0>,
           "count": <int, optional>,
+          "jobs": <int >= 1, optional>,     # requested pool width
+          "workers": <int >= 1, optional>,  # pool width actually used
           "cache_hit_rates": {"<table>": <float in [0, 1]>, ...},
           ...            # extra keys allowed
         },
@@ -149,6 +151,18 @@ def validate_report(report: Any) -> List[str]:
         count = entry.get("count")
         if count is not None and (not isinstance(count, int) or count < 0):
             errors.append(f"{where}.count must be a non-negative int")
+        # Service-batch phases record their pool width: `jobs` is the
+        # requested --jobs value, `workers` the pool actually used.
+        for pool_key in ("jobs", "workers"):
+            width = entry.get(pool_key)
+            if width is not None and (
+                not isinstance(width, int)
+                or isinstance(width, bool)
+                or width < 1
+            ):
+                errors.append(
+                    f"{where}.{pool_key} must be a positive int, got {width!r}"
+                )
         rates = entry.get("cache_hit_rates", {})
         if not isinstance(rates, dict):
             errors.append(f"{where}.cache_hit_rates must be an object")

@@ -17,10 +17,18 @@ Supported commands::
     Configure <A> <B> [mapping <j0> <j1> ...]
     Repair <A> <B> in <name> [as <new_name>]
     Repair module <A> <B> [prefix <Prefix>]
+    Repair Batch <A> <B> in <name> <name> ... [prefix <Prefix>]
     Decompile <name>
     Replay <name>
     Analyze [<name>]
     Remove <A>
+
+``Repair Batch`` schedules several targets through the
+:mod:`repro.service` engine: jobs are ordered over the environment's
+reverse-dependency graph, a failing target skips (rather than poisons)
+its dependents, and when the session has a result ``store`` attached,
+previously repaired targets replay from cache without redoing any
+transformation work.
 
 ``Repair`` uses the automatic workflow of Figure 6 (left): when no
 configuration was set up for the pair, the search procedures run first.
@@ -62,6 +70,8 @@ class CommandResult:
     results: List[RepairResult] = field(default_factory=list)
     config: Optional[Configuration] = None
     text: Optional[str] = None
+    #: The batch report when the command was ``Repair Batch``.
+    report: Optional[object] = None
 
     def __str__(self) -> str:
         return self.summary
@@ -70,12 +80,15 @@ class CommandResult:
 class CommandSession:
     """An interactive session of repair commands over one environment."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, store=None) -> None:
         self.env = env
         self.cache = TransformCache()
         self._configs: Dict[Tuple[str, str], Configuration] = {}
         self._sessions: Dict[Tuple[str, str], RepairSession] = {}
         self.history: List[CommandResult] = []
+        #: Optional :class:`repro.service.ResultStore` backing
+        #: ``Repair Batch`` (no persistence when unset).
+        self.store = store
 
     # -- Public API -------------------------------------------------------------
 
@@ -93,6 +106,8 @@ class CommandSession:
                 result = self._configure(words[1:], command)
             elif head == "Repair" and len(words) > 1 and words[1] == "module":
                 result = self._repair_module(words[2:], command)
+            elif head == "Repair" and len(words) > 1 and words[1] == "Batch":
+                result = self._repair_batch(words[2:], command)
             elif head == "Repair":
                 result = self._repair(words[1:], command)
             elif head == "Decompile":
@@ -109,13 +124,20 @@ class CommandSession:
         return result
 
     def run(self, script: str) -> List[CommandResult]:
-        """Run a batch of commands, one per non-empty line."""
+        """Run a batch of commands, one per non-empty line.
+
+        A failing command reports its 1-based script line number, so an
+        error deep in a long vernacular file points at the right line.
+        """
         results = []
-        for line in script.splitlines():
+        for lineno, line in enumerate(script.splitlines(), start=1):
             line = line.strip()
             if not line or line.startswith("(*"):
                 continue
-            results.append(self.execute(line))
+            try:
+                results.append(self.execute(line))
+            except CommandError as exc:
+                raise CommandError(f"line {lineno}: {exc}") from exc
         return results
 
     # -- Individual commands ------------------------------------------------------
@@ -195,6 +217,58 @@ class CommandSession:
             summary=f"repaired {len(results)} constants across {a} ~= {b}",
             results=results,
             config=session.config,
+        )
+
+    def _repair_batch(self, words: List[str], command: str) -> CommandResult:
+        # Repair Batch <A> <B> in <name> <name> ... [prefix <P>]
+        usage = "usage: Repair Batch <A> <B> in <name>... [prefix <P>]"
+        if len(words) < 4 or words[2] != "in":
+            raise CommandError(usage)
+        a, b = words[0], words[1]
+        targets = words[3:]
+        prefix = None
+        if len(targets) >= 2 and targets[-2] == "prefix":
+            prefix = targets[-1]
+            targets = targets[:-2]
+        if not targets:
+            raise CommandError(usage)
+        from .service.job import JobError
+        from .service.live import live_jobs, run_live_batch
+        from .service.scheduler import BatchOptions
+        from .service.worker import make_rename
+
+        rename_spec = (
+            {"kind": "prefix", "value": f"{prefix}."}
+            if prefix
+            else {"kind": "suffix", "value": "'"}
+        )
+        session = self._get_session(a, b, rename=make_rename(rename_spec))
+        try:
+            jobs = live_jobs(self.env, a, b, targets, rename=rename_spec)
+            report = run_live_batch(
+                session,
+                jobs,
+                BatchOptions(jobs=1, store=self.store),
+                batch=f"{a}~{b}",
+            )
+        except JobError as exc:
+            raise CommandError(str(exc)) from exc
+        results = [
+            session.results[o.job.target]
+            for o in report.outcomes
+            if o.ok and o.job.target in session.results
+        ]
+        counts = ", ".join(
+            f"{n} {status}" for status, n in sorted(report.counts.items())
+        )
+        return CommandResult(
+            command=command,
+            summary=f"batch {a} ~= {b}: {len(report.outcomes)} job(s) — "
+            f"{counts}",
+            results=results,
+            config=session.config,
+            text=report.render_table(),
+            report=report,
         )
 
     def _decompile(self, words: List[str], command: str) -> CommandResult:

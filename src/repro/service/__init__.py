@@ -1,0 +1,82 @@
+"""repro.service — the parallel batch-repair job engine.
+
+Repairing a real development is rarely one command: it is a batch of
+related repairs over one or more environments, some depending on
+others, some already done last run, some that will crash a worker.
+This package turns :mod:`repro.core.repair` into a job service:
+
+* :mod:`~repro.service.job` — content-addressed :class:`RepairJob`
+  descriptions with environment fingerprints;
+* :mod:`~repro.service.graph` — the reverse-dependency analysis the
+  scheduler orders jobs by (shared, as an oracle, with the tests for
+  ``Repair module``);
+* :mod:`~repro.service.scheduler` — :func:`run_batch`: the
+  dependency-aware scheduler, worker pool, retry/timeout semantics, and
+  per-batch report;
+* :mod:`~repro.service.worker` — the hermetic per-job executor
+  (``python -m repro.service.worker``);
+* :mod:`~repro.service.store` — the persistent content-addressed
+  result store;
+* :mod:`~repro.service.faults` — deterministic fault injection;
+* :mod:`~repro.service.live` — batches over a live session
+  environment (the ``Repair Batch`` vernacular command);
+* :mod:`~repro.service.manifest` / :mod:`~repro.service.cli` — the
+  ``python -m repro.service`` batch front end;
+* :mod:`~repro.service.cases` — the standard six-case-study batch.
+"""
+
+from .faults import CRASH_EXIT_CODE, FaultInjected, FaultPlan, JobTimeout, WorkerCrash
+from .job import (
+    LIVE_SETUP,
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    STATUSES,
+    JobError,
+    RepairJob,
+    fingerprint_env,
+    fingerprint_source,
+)
+from .scheduler import (
+    JOBS_ENV_VAR,
+    BatchOptions,
+    BatchReport,
+    JobOutcome,
+    default_jobs,
+    inprocess_runner,
+    run_batch,
+    subprocess_runner,
+)
+from .store import STORE_ENV_VAR, ResultStore, default_store_dir
+
+__all__ = [
+    "BatchOptions",
+    "BatchReport",
+    "CRASH_EXIT_CODE",
+    "FaultInjected",
+    "FaultPlan",
+    "JOBS_ENV_VAR",
+    "JobError",
+    "JobOutcome",
+    "JobTimeout",
+    "LIVE_SETUP",
+    "RepairJob",
+    "ResultStore",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SKIPPED",
+    "STATUS_TIMEOUT",
+    "STATUSES",
+    "STORE_ENV_VAR",
+    "WorkerCrash",
+    "default_jobs",
+    "default_store_dir",
+    "fingerprint_env",
+    "fingerprint_source",
+    "inprocess_runner",
+    "run_batch",
+    "subprocess_runner",
+]

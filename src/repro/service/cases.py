@@ -1,0 +1,257 @@
+"""Service adapters for the six paper case studies.
+
+Each case study gets a zero-argument environment builder (the job's
+``setup`` dotted reference) and, where the configuration cannot be
+auto-searched from two type names, a one-argument configuration builder
+(the job's ``config`` dotted reference).  :func:`six_case_jobs` then
+assembles the standard eight-job batch the benchmarks and CI run —
+quickstart, REPLICA, binary arithmetic (two chained jobs), ornaments,
+constructor refactoring (two independent jobs), and the Galois
+handshake — and :func:`six_case_manifest` renders it as the JSON the
+``python -m repro.service`` CLI consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..core.config import Configuration
+from ..kernel.env import Environment
+from .job import RepairJob, fingerprint_source
+
+_HERE = "repro.service.cases"
+
+
+# -- Environment builders (job ``setup`` references) --------------------------
+
+
+def quickstart_env() -> Environment:
+    """Section 2: the list development plus the swapped ``New.list``."""
+    from ..cases.quickstart import setup_environment
+
+    return setup_environment()
+
+
+def replica_env() -> Environment:
+    """Section 6.1: the term language plus the Figure 16 variant."""
+    from ..cases.replica import declare_term_language, setup_environment
+
+    env = setup_environment()
+    declare_term_language(
+        env,
+        "New0.Term",
+        order=["Var", "Eq", "Int", "Plus", "Times", "Minus", "Choose"],
+    )
+    return env
+
+
+def binary_env() -> Environment:
+    """Section 6.3: unary/binary nat with the iota-marked proof."""
+    from ..cases.binary import (
+        declare_iota_constants,
+        declare_marked_add_n_Sm,
+    )
+    from ..stdlib import make_env
+
+    env = make_env(lists=False, vectors=False, binary=True)
+    declare_iota_constants(env)
+    declare_marked_add_n_Sm(env)
+    return env
+
+
+def ornaments_env() -> Environment:
+    """Section 6.2: lists and vectors with the length invariant."""
+    from ..cases.ornaments_example import declare_length_invariant
+    from ..stdlib import make_env
+
+    env = make_env(lists=True, vectors=True)
+    declare_length_invariant(env)
+    return env
+
+
+def refactor_env() -> Environment:
+    """Section 6.4 (constructors): the I/J algebra development."""
+    from ..cases.constr_refactor import setup_environment
+
+    return setup_environment()
+
+
+def galois_env() -> Environment:
+    """Section 6.4 (tuples/records): the Galois handshake development."""
+    from ..cases.galois import setup_environment
+
+    return setup_environment()
+
+
+# -- Configuration builders (job ``config`` dotted references) ----------------
+
+
+def binary_config(env: Environment) -> Configuration:
+    from ..cases.binary import binary_configuration
+
+    return binary_configuration(env)
+
+
+def ornaments_config(env: Environment) -> Configuration:
+    from ..core.search.ornaments import ornament_configuration
+
+    return ornament_configuration(env)
+
+
+def refactor_config(env: Environment) -> Configuration:
+    from ..cases.constr_refactor import refactor_configuration
+
+    return refactor_configuration(env)
+
+
+def galois_handshake_config(env: Environment) -> Configuration:
+    from ..core.search.tuples_records import tuples_records_configuration
+
+    return tuples_records_configuration(
+        env, "Record.Handshake", tuple_alias="Galois.Handshake"
+    )
+
+
+# -- Rename callables (job ``rename`` dotted references) ----------------------
+
+
+def refactor_rename(name: str) -> str:
+    """``Ialg.and -> J.and`` style renaming for the refactor case."""
+    return f"J.{name.split('.')[-1]}"
+
+
+#: The constants the ornament configuration translates itself; the
+#: repair session must not treat them as repairable dependencies.
+ORNAMENT_SKIP = (
+    "ornament.eta",
+    "ornament.dep_constr_0",
+    "ornament.dep_constr_1",
+    "ornament.promote",
+    "ornament.forget",
+    "ornament.forget_vec",
+)
+
+
+# -- The standard batch -------------------------------------------------------
+
+
+def _specs() -> List[Dict[str, Any]]:
+    return [
+        {
+            "name": "quickstart/rev_app_distr",
+            "setup": f"{_HERE}:quickstart_env",
+            "target": "rev_app_distr",
+            "config": {"kind": "auto", "a": "list", "b": "New.list"},
+            "old": ["list"],
+            "rename": {"kind": "prefix", "value": "New."},
+        },
+        {
+            "name": "replica/eval_eq_true_or_false",
+            "setup": f"{_HERE}:replica_env",
+            "target": "eval_eq_true_or_false",
+            "config": {"kind": "auto", "a": "Old.Term", "b": "New0.Term"},
+            "old": ["Old.Term"],
+            "rename": {"kind": "prefix", "value": "New0."},
+        },
+        {
+            "name": "binary/slow_add",
+            "setup": f"{_HERE}:binary_env",
+            "target": "add",
+            "new_name": "slow_add",
+            "config": {"kind": "dotted", "ref": f"{_HERE}:binary_config"},
+            "old": ["nat"],
+            "rename": {
+                "kind": "map",
+                "map": {"add": "slow_add"},
+                "prefix": "N.",
+            },
+        },
+        {
+            "name": "binary/slow_add_n_Sm",
+            "setup": f"{_HERE}:binary_env",
+            "target": "add_n_Sm_marked",
+            "new_name": "slow_add_n_Sm",
+            "config": {"kind": "dotted", "ref": f"{_HERE}:binary_config"},
+            "old": ["nat"],
+            "rename": {
+                "kind": "map",
+                "map": {"add": "slow_add"},
+                "prefix": "N.",
+            },
+            "after": ["binary/slow_add"],
+        },
+        {
+            "name": "ornaments/zip_with_is_zip",
+            "setup": f"{_HERE}:ornaments_env",
+            "target": "zip_with_is_zip",
+            "config": {
+                "kind": "dotted",
+                "ref": f"{_HERE}:ornaments_config",
+            },
+            "old": ["list"],
+            "rename": {"kind": "prefix", "value": "Packed."},
+            "skip": list(ORNAMENT_SKIP),
+        },
+        {
+            "name": "refactor/demorgan_1",
+            "setup": f"{_HERE}:refactor_env",
+            "target": "demorgan_1",
+            "config": {
+                "kind": "dotted",
+                "ref": f"{_HERE}:refactor_config",
+            },
+            "old": ["I"],
+            "rename": {
+                "kind": "dotted",
+                "ref": f"{_HERE}:refactor_rename",
+            },
+        },
+        {
+            "name": "refactor/demorgan_2",
+            "setup": f"{_HERE}:refactor_env",
+            "target": "demorgan_2",
+            "config": {
+                "kind": "dotted",
+                "ref": f"{_HERE}:refactor_config",
+            },
+            "old": ["I"],
+            "rename": {
+                "kind": "dotted",
+                "ref": f"{_HERE}:refactor_rename",
+            },
+        },
+        {
+            "name": "galois/cork",
+            "setup": f"{_HERE}:galois_env",
+            "target": "cork",
+            "config": {
+                "kind": "dotted",
+                "ref": f"{_HERE}:galois_handshake_config",
+            },
+            "old": ["Galois.Handshake"],
+            "rename": {"kind": "suffix", "value": "'"},
+        },
+    ]
+
+
+def six_case_jobs(fingerprint: bool = True) -> List[RepairJob]:
+    """The standard eight-job batch over the six paper case studies."""
+    jobs = []
+    fingerprints: Dict[str, str] = {}
+    for spec in _specs():
+        setup = spec["setup"]
+        if fingerprint:
+            if setup not in fingerprints:
+                fingerprints[setup] = fingerprint_source(setup)
+            spec = dict(spec, env_fingerprint=fingerprints[setup])
+        jobs.append(RepairJob.from_dict(spec, where=spec["name"]))
+    return jobs
+
+
+def six_case_manifest() -> Dict[str, Any]:
+    """The standard batch as a CLI manifest (fingerprints resolved at
+    run time by the CLI, not baked in)."""
+    return {
+        "batch": "six-cases",
+        "jobs": _specs(),
+    }

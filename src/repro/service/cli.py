@@ -1,0 +1,137 @@
+"""``python -m repro.service`` — run a batch manifest.
+
+Reads a JSON batch manifest (or the built-in six-case batch), schedules
+it over the worker pool, prints the per-job summary table, and
+optionally writes the full JSON report::
+
+    python -m repro.service examples/service_batch.json --jobs 4
+    python -m repro.service --six-cases --store /tmp/repro-store \\
+        --report batch_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .faults import FaultPlan
+from .job import JobError
+from .manifest import load_manifest
+from .scheduler import BatchOptions, default_jobs, run_batch
+from .store import ResultStore, default_store_dir
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run a batch of proof-repair jobs.",
+    )
+    parser.add_argument(
+        "manifest",
+        nargs="?",
+        help="path to a JSON batch manifest",
+    )
+    parser.add_argument(
+        "--six-cases",
+        action="store_true",
+        help="run the built-in six-case-study batch instead of a manifest",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help=f"worker pool width (default: $REPRO_JOBS or {default_jobs()})",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=f"result store directory (default: {default_store_dir()})",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent result store entirely",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every job even when a stored result exists",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job timeout in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget for crashed workers (default: 2)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON",
+        help='inject faults, e.g. \'{"add": {"0": "crash"}}\'',
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the full JSON batch report here ('-' for stdout)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if bool(args.manifest) == bool(args.six_cases):
+        parser.error("give a manifest path or --six-cases (not both)")
+    try:
+        if args.six_cases:
+            from .cases import six_case_jobs
+
+            batch, jobs = "six-cases", six_case_jobs()
+        else:
+            batch, jobs = load_manifest(args.manifest)
+        fault_plan = (
+            FaultPlan.from_json(args.fault_plan) if args.fault_plan else None
+        )
+    except (JobError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = None if args.no_store else ResultStore(args.store)
+    options = BatchOptions(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        refresh=args.refresh,
+        store=store,
+        fault_plan=fault_plan,
+    )
+    try:
+        report = run_batch(jobs, options, batch=batch)
+    except JobError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_table())
+    if args.report:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.report == "-":
+            print(payload)
+        else:
+            with open(args.report, "w") as handle:
+                handle.write(payload + "\n")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Injectable fault hooks, used by the tests to prove fault tolerance.
+
+Workers consult :func:`injected_kind` at the start of every attempt.
+Faults come from two sources, both deterministic so failures reproduce:
+
+* :class:`FaultPlan` — an explicit ``target -> {attempt: kind}`` table,
+  passed programmatically (``BatchOptions.fault_plan``) or through the
+  ``REPRO_FAULT_PLAN`` environment variable as JSON, e.g.
+  ``{"add": {"0": "crash"}}`` crashes the first attempt at repairing
+  ``add`` and lets the retry through.
+* ``REPRO_FAULT_RATE`` — a probability in ``[0, 1]``; each (target,
+  attempt) pair is hashed to decide whether it crashes, so a given rate
+  always kills the same attempts.
+
+Kinds: ``crash`` (the worker process dies with :data:`CRASH_EXIT_CODE`,
+no output), ``error`` (a retryable :class:`FaultInjected` is raised),
+``hang`` (the worker sleeps until the per-job timeout kills it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+#: Environment variable carrying a JSON fault plan.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Environment variable carrying a crash probability in [0, 1].
+FAULT_RATE_ENV = "REPRO_FAULT_RATE"
+
+#: Exit code of a crash-injected worker (distinguishable from Python
+#: tracebacks, which exit 1).
+CRASH_EXIT_CODE = 13
+
+#: How long a "hang" fault sleeps; tests shrink it via the environment.
+HANG_SECONDS_ENV = "REPRO_FAULT_HANG_S"
+
+FAULT_KINDS = ("crash", "error", "hang")
+
+
+class FaultInjected(Exception):
+    """A deliberately injected, retryable worker failure."""
+
+
+class WorkerCrash(Exception):
+    """A worker process died without producing a result (retryable)."""
+
+
+class JobTimeout(Exception):
+    """A job exceeded its per-job timeout (reported, not retried)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic table of faults: target -> attempt -> kind."""
+
+    faults: Mapping[str, Mapping[int, str]]
+
+    def kind_for(self, target: str, attempt: int) -> Optional[str]:
+        return self.faults.get(target, {}).get(attempt)
+
+    def to_env(self) -> str:
+        """The ``REPRO_FAULT_PLAN`` JSON encoding of this plan."""
+        return json.dumps(
+            {
+                target: {str(a): kind for a, kind in attempts.items()}
+                for target, attempts in self.faults.items()
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(raw: str) -> "FaultPlan":
+        data = json.loads(raw)
+        faults: Dict[str, Dict[int, str]] = {}
+        if not isinstance(data, dict):
+            raise ValueError("fault plan must be a JSON object")
+        for target, attempts in data.items():
+            if not isinstance(attempts, dict):
+                raise ValueError(
+                    f"fault plan for {target!r} must map attempts to kinds"
+                )
+            faults[target] = {}
+            for attempt, kind in attempts.items():
+                if kind not in FAULT_KINDS:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+                faults[target][int(attempt)] = str(kind)
+        return FaultPlan(faults=faults)
+
+    @staticmethod
+    def from_env() -> Optional["FaultPlan"]:
+        raw = os.environ.get(FAULT_PLAN_ENV, "")
+        if not raw:
+            return None
+        return FaultPlan.from_json(raw)
+
+
+def fault_rate() -> float:
+    """The ``REPRO_FAULT_RATE`` probability (0.0 when unset/invalid)."""
+    raw = os.environ.get(FAULT_RATE_ENV, "")
+    if not raw:
+        return 0.0
+    try:
+        rate = float(raw)
+    except ValueError:
+        return 0.0
+    return min(max(rate, 0.0), 1.0)
+
+
+def _hash_unit(target: str, attempt: int) -> float:
+    """A deterministic value in [0, 1) for one (target, attempt) pair."""
+    digest = hashlib.sha256(f"{target}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def injected_kind(
+    target: str, attempt: int, plan: Optional[FaultPlan] = None
+) -> Optional[str]:
+    """The fault to inject for this attempt, if any.
+
+    An explicit plan (argument, else ``REPRO_FAULT_PLAN``) wins; the
+    rate-based hook applies otherwise.
+    """
+    if plan is None:
+        plan = FaultPlan.from_env()
+    if plan is not None:
+        kind = plan.kind_for(target, attempt)
+        if kind is not None:
+            return kind
+    rate = fault_rate()
+    if rate > 0.0 and _hash_unit(target, attempt) < rate:
+        return "crash"
+    return None
+
+
+def inject(
+    target: str,
+    attempt: int,
+    plan: Optional[FaultPlan] = None,
+    in_process: bool = False,
+) -> None:
+    """Apply the injected fault for this attempt, if any.
+
+    ``crash`` exits the process immediately (simulating an OOM-killed or
+    segfaulting worker) — except under the deterministic in-process
+    executor, where killing the process would kill the engine itself, so
+    the crash surfaces as :class:`WorkerCrash` with the same retry
+    semantics.  ``error`` raises :class:`FaultInjected`; ``hang`` sleeps
+    long enough for the job timeout to fire.
+    """
+    kind = injected_kind(target, attempt, plan)
+    if kind is None:
+        return
+    if kind == "crash":
+        if in_process:
+            raise WorkerCrash(
+                f"injected crash for {target!r} attempt {attempt}"
+            )
+        os._exit(CRASH_EXIT_CODE)
+    if kind == "error":
+        raise FaultInjected(
+            f"injected fault for {target!r} attempt {attempt}"
+        )
+    if kind == "hang":
+        time.sleep(float(os.environ.get(HANG_SECONDS_ENV, "3600")))

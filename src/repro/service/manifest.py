@@ -1,0 +1,57 @@
+"""Batch manifests: the JSON input of ``python -m repro.service``.
+
+A manifest is an object with an optional ``batch`` name and a ``jobs``
+array of job entries (see :meth:`repro.service.job.RepairJob.from_dict`
+for the entry schema; ``examples/service_batch.json`` is a worked
+sample).  Jobs that do not pin an ``env_fingerprint`` get one computed
+from their setup module's source at load time, so an unchanged manifest
+over unchanged sources re-runs as pure cache hits while editing either
+invalidates exactly the affected jobs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from .job import JobError, RepairJob, fingerprint_source
+
+
+def jobs_from_manifest(
+    data: Dict[str, Any], where: str = "manifest"
+) -> List[RepairJob]:
+    """Parse and fingerprint the ``jobs`` array of a manifest object."""
+    if not isinstance(data, dict):
+        raise JobError(f"{where}: manifest must be a JSON object")
+    raw_jobs = data.get("jobs")
+    if not isinstance(raw_jobs, list) or not raw_jobs:
+        raise JobError(f"{where}: manifest needs a non-empty 'jobs' array")
+    fingerprints: Dict[str, str] = {}
+    jobs: List[RepairJob] = []
+    for index, raw in enumerate(raw_jobs):
+        entry_where = f"{where}: jobs[{index}]"
+        if not isinstance(raw, dict):
+            raise JobError(f"{entry_where}: job entry must be an object")
+        if not raw.get("env_fingerprint"):
+            setup = str(raw.get("setup", ""))
+            if not setup:
+                raise JobError(f"{entry_where}: missing setup reference")
+            if setup not in fingerprints:
+                fingerprints[setup] = fingerprint_source(setup)
+            raw = dict(raw, env_fingerprint=fingerprints[setup])
+        jobs.append(RepairJob.from_dict(raw, where=entry_where))
+    return jobs
+
+
+def load_manifest(path: str) -> Tuple[str, List[RepairJob]]:
+    """Load ``path``; returns the batch name and its fingerprinted jobs."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise JobError(f"cannot read manifest {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise JobError(f"manifest {path!r} is not valid JSON: {exc}") from exc
+    jobs = jobs_from_manifest(data, where=path)
+    batch = data.get("batch")
+    return (str(batch) if batch else "batch", jobs)

@@ -1,0 +1,618 @@
+"""The dependency-aware batch scheduler and worker pool.
+
+:func:`run_batch` turns a list of :class:`~repro.service.job.RepairJob`
+into per-job outcomes:
+
+1. jobs are validated and topologically ordered over their ``after``
+   edges (cycles and dangling references are rejected up front);
+2. when a job becomes ready, the persistent store is consulted — a hit
+   completes it as ``cached`` without any repair work;
+3. misses are dispatched to the worker pool — a
+   :class:`concurrent.futures.ThreadPoolExecutor` driving one worker
+   *subprocess* per attempt (``--jobs N`` / ``$REPRO_JOBS``), so a
+   crashing worker takes down only its own job, never the pool (the
+   reason this is not a ``ProcessPoolExecutor``: one abrupt child death
+   there poisons every pending future with ``BrokenProcessPool``);
+   ``--jobs 1`` uses a deterministic in-process executor instead;
+4. crashes and injected errors are retried with bounded backoff;
+   timeouts are reported as ``timeout``; deterministic repair failures
+   as ``failed``; and every job downstream of a non-ok job is marked
+   ``skipped-dependency`` without being dispatched.
+
+The batch is traced as a ``service_batch`` span carrying queue-depth,
+worker-utilization, and store hit-rate gauges; the in-process executor
+additionally nests a ``service_job`` span per attempt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from ..obs import span
+from .faults import CRASH_EXIT_CODE, FaultPlan, JobTimeout, WorkerCrash
+from .job import (
+    SCHEMA_VERSION,
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    JobError,
+    RepairJob,
+)
+from .store import ResultStore
+from .graph import toposort
+
+#: Environment variable giving the default worker-pool width.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: A runner executes one attempt: (payload, attempt, timeout_s) -> record.
+Runner = Callable[[Dict[str, Any], int, Optional[float]], Dict[str, Any]]
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS`` when set to a positive int, else 1."""
+    raw = os.environ.get(JOBS_ENV_VAR, "")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return jobs if jobs >= 1 else 1
+
+
+@dataclass
+class BatchOptions:
+    """Knobs for one batch run."""
+
+    jobs: int = 0  # 0 -> default_jobs()
+    timeout_s: Optional[float] = None
+    retries: int = 2
+    backoff_s: float = 0.05
+    refresh: bool = False
+    store: Optional[ResultStore] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs <= 0:
+            self.jobs = default_jobs()
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job."""
+
+    job: RepairJob
+    status: str
+    attempts: int = 0
+    wall_time_s: float = 0.0
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_CACHED)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.job.name,
+            "key": self.job.key,
+            "target": self.job.target,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["new_name"] = self.result.get("new_name")
+        return out
+
+
+@dataclass
+class BatchReport:
+    """Per-job outcomes plus batch-level accounting."""
+
+    batch: str
+    jobs: int
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    store_hits: int = 0
+    store_misses: int = 0
+    max_queue_depth: int = 0
+    worker_utilization: float = 0.0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.store_hits + self.store_misses
+        return self.store_hits / total if total else 0.0
+
+    def outcome(self, name: str) -> JobOutcome:
+        for outcome in self.outcomes:
+            if outcome.job.name == name:
+                return outcome
+        raise KeyError(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "batch": self.batch,
+            "jobs": self.jobs,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "counts": self.counts,
+            "store": {
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            },
+            "max_queue_depth": self.max_queue_depth,
+            "worker_utilization": round(self.worker_utilization, 4),
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def render_table(self) -> str:
+        """The human-readable per-job summary the CLI prints."""
+        width = max([len(o.job.name) for o in self.outcomes] + [4])
+        lines = [
+            f"{'job':<{width}}  {'status':<18} {'tries':>5} {'wall(s)':>8}"
+        ]
+        for o in self.outcomes:
+            lines.append(
+                f"{o.job.name:<{width}}  {o.status:<18} "
+                f"{o.attempts:>5} {o.wall_time_s:>8.3f}"
+            )
+        counts = ", ".join(
+            f"{n} {status}" for status, n in sorted(self.counts.items())
+        )
+        lines.append(
+            f"batch {self.batch!r}: {len(self.outcomes)} job(s) — {counts}; "
+            f"wall {self.wall_time_s:.3f}s, workers={self.jobs}, "
+            f"store {self.store_hits} hit(s) / {self.store_misses} miss(es)"
+        )
+        return "\n".join(lines)
+
+
+# -- Executors ----------------------------------------------------------------
+
+
+@contextmanager
+def _job_alarm(timeout_s: Optional[float]) -> Iterator[None]:
+    """Raise :class:`JobTimeout` after ``timeout_s`` (POSIX, main thread)."""
+    import signal
+    import threading
+
+    usable = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise JobTimeout(f"job exceeded {timeout_s}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s or 0))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def inprocess_runner(
+    fault_plan: Optional[FaultPlan] = None,
+) -> Runner:
+    """The deterministic in-process executor (``--jobs 1`` and tests)."""
+    from .worker import run_job
+
+    def run(
+        payload: Dict[str, Any], attempt: int, timeout_s: Optional[float]
+    ) -> Dict[str, Any]:
+        with span(
+            "service_job",
+            category="service",
+            job=payload.get("name", payload["target"]),
+            attempt=attempt,
+        ):
+            with _job_alarm(timeout_s):
+                return run_job(
+                    payload, attempt, fault_plan, in_process=True
+                )
+
+    return run
+
+
+def _worker_environ(fault_plan: Optional[FaultPlan]) -> Dict[str, str]:
+    import repro
+
+    environ = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = environ.get("PYTHONPATH", "")
+    parts = [src_dir] + ([existing] if existing else [])
+    environ["PYTHONPATH"] = os.pathsep.join(parts)
+    if fault_plan is not None:
+        environ["REPRO_FAULT_PLAN"] = fault_plan.to_env()
+    return environ
+
+
+def subprocess_runner(
+    fault_plan: Optional[FaultPlan] = None,
+) -> Runner:
+    """One hermetic worker subprocess per attempt.
+
+    Crash isolation is the point: a worker that dies (injected crash,
+    OOM kill, segfault) yields :class:`WorkerCrash` for *its* job only.
+    A worker that outlives the per-job timeout is killed and reported as
+    :class:`JobTimeout`.
+    """
+    environ = _worker_environ(fault_plan)
+
+    def run(
+        payload: Dict[str, Any], attempt: int, timeout_s: Optional[float]
+    ) -> Dict[str, Any]:
+        request = json.dumps({"payload": payload, "attempt": attempt})
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=environ,
+        )
+        try:
+            stdout, stderr = process.communicate(
+                request, timeout=timeout_s
+            )
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.communicate()
+            raise JobTimeout(
+                f"worker for {payload['target']!r} exceeded {timeout_s}s"
+            ) from None
+        if process.returncode != 0:
+            tail = (stderr or "").strip().splitlines()[-3:]
+            detail = "; ".join(tail) if tail else "no stderr"
+            kind = (
+                "crashed"
+                if process.returncode == CRASH_EXIT_CODE
+                else f"exited {process.returncode}"
+            )
+            raise WorkerCrash(
+                f"worker for {payload['target']!r} {kind}: {detail}"
+            )
+        for line in reversed((stdout or "").strip().splitlines()):
+            line = line.strip()
+            if line.startswith("{"):
+                try:
+                    record: Dict[str, Any] = json.loads(line)
+                    return record
+                except json.JSONDecodeError:
+                    break
+        raise WorkerCrash(
+            f"worker for {payload['target']!r} produced no result record"
+        )
+
+    return run
+
+
+# -- The scheduler ------------------------------------------------------------
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+class _BatchState:
+    """Mutable bookkeeping for one run: readiness, outcomes, cascades."""
+
+    def __init__(self, jobs: List[RepairJob]) -> None:
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            dupes = sorted(
+                {name for name in names if names.count(name) > 1}
+            )
+            raise JobError(f"duplicate job name(s): {dupes}")
+        edges = {job.name: tuple(job.after) for job in jobs}
+        try:
+            toposort(names, edges)
+        except ValueError as exc:
+            raise JobError(str(exc)) from exc
+        self.jobs = {job.name: job for job in jobs}
+        self.order = names
+        self.pending: Dict[str, set] = {
+            job.name: set(job.after) for job in jobs
+        }
+        self.dependents: Dict[str, List[str]] = {name: [] for name in names}
+        for job in jobs:
+            for dep in job.after:
+                self.dependents[dep].append(job.name)
+        self.outcomes: Dict[str, JobOutcome] = {}
+        self.ready: Deque[RepairJob] = deque(
+            job for job in jobs if not job.after
+        )
+
+    def complete(self, outcome: JobOutcome) -> None:
+        """Record an outcome; unblock or cascade-skip the dependents."""
+        name = outcome.job.name
+        self.outcomes[name] = outcome
+        if outcome.ok:
+            for dependent in self.dependents[name]:
+                waiting = self.pending[dependent]
+                waiting.discard(name)
+                if not waiting and dependent not in self.outcomes:
+                    self.ready.append(self.jobs[dependent])
+        else:
+            self._skip_dependents(name)
+
+    def _skip_dependents(self, name: str) -> None:
+        for dependent in self.dependents[name]:
+            if dependent in self.outcomes:
+                continue
+            self.outcomes[dependent] = JobOutcome(
+                job=self.jobs[dependent],
+                status=STATUS_SKIPPED,
+                error=f"dependency {name!r} did not complete",
+            )
+            self._skip_dependents(dependent)
+
+    @property
+    def done(self) -> bool:
+        return len(self.outcomes) == len(self.jobs)
+
+    def ordered_outcomes(self) -> List[JobOutcome]:
+        return [self.outcomes[name] for name in self.order]
+
+
+def _store_record(job: RepairJob, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "key": job.key,
+        "job": job.payload(),
+        "result": result,
+        "created_at": _utc_now(),
+    }
+
+
+def run_batch(
+    jobs: List[RepairJob],
+    options: Optional[BatchOptions] = None,
+    runner: Optional[Runner] = None,
+    batch: str = "batch",
+    on_cached: Optional[Callable[[RepairJob, Dict[str, Any]], None]] = None,
+) -> BatchReport:
+    """Schedule ``jobs`` over the worker pool; return per-job outcomes.
+
+    ``runner`` defaults to the subprocess pool when ``options.jobs > 1``
+    and the deterministic in-process executor otherwise.  ``on_cached``
+    is invoked for every store hit (live batches use it to replay the
+    cached definitions into the session environment).
+    """
+    options = options or BatchOptions()
+    if runner is None:
+        if options.jobs > 1:
+            runner = subprocess_runner(options.fault_plan)
+        else:
+            runner = inprocess_runner(options.fault_plan)
+    state = _BatchState(list(jobs))
+    store = options.store
+    report = BatchReport(batch=batch, jobs=options.jobs)
+    busy_s = 0.0
+    started = time.perf_counter()
+
+    def resolve_from_store(job: RepairJob) -> bool:
+        if store is None or options.refresh:
+            return False
+        record = store.get(job.key)
+        if record is None:
+            return False
+        result = record["result"]
+        if on_cached is not None:
+            try:
+                on_cached(job, result)
+            except Exception:  # noqa: BLE001 — replay failed: recompute
+                return False
+        state.complete(
+            JobOutcome(
+                job=job,
+                status=STATUS_CACHED,
+                attempts=0,
+                result=result,
+            )
+        )
+        return True
+
+    def finish_attempt(
+        job: RepairJob,
+        attempt: int,
+        wall: float,
+        record: Optional[Dict[str, Any]],
+        error: Optional[BaseException],
+    ) -> Optional[int]:
+        """Complete the job or return the next attempt number."""
+        nonlocal busy_s
+        busy_s += wall
+        if error is not None:
+            if isinstance(error, JobTimeout):
+                state.complete(
+                    JobOutcome(
+                        job=job,
+                        status=STATUS_TIMEOUT,
+                        attempts=attempt + 1,
+                        wall_time_s=wall,
+                        error=str(error),
+                    )
+                )
+                return None
+            retryable = isinstance(error, WorkerCrash)
+            if retryable and attempt < options.retries:
+                return attempt + 1
+            state.complete(
+                JobOutcome(
+                    job=job,
+                    status=STATUS_FAILED,
+                    attempts=attempt + 1,
+                    wall_time_s=wall,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            )
+            return None
+        assert record is not None
+        if record.get("status") == STATUS_OK:
+            if store is not None:
+                store.put(job.key, _store_record(job, record))
+            state.complete(
+                JobOutcome(
+                    job=job,
+                    status=STATUS_OK,
+                    attempts=attempt + 1,
+                    wall_time_s=wall,
+                    result=record,
+                )
+            )
+            return None
+        if record.get("retryable") and attempt < options.retries:
+            return attempt + 1
+        state.complete(
+            JobOutcome(
+                job=job,
+                status=STATUS_FAILED,
+                attempts=attempt + 1,
+                wall_time_s=wall,
+                error=record.get("error", "worker reported failure"),
+            )
+        )
+        return None
+
+    def backoff(attempt: int) -> None:
+        if options.backoff_s > 0 and attempt > 0:
+            time.sleep(options.backoff_s * attempt)
+
+    with span(
+        "service_batch", category="service", batch=batch, jobs=options.jobs
+    ) as batch_span:
+        if options.jobs <= 1:
+            # Deterministic serial loop: ready order is completion order.
+            while state.ready:
+                job = state.ready.popleft()
+                report.max_queue_depth = max(
+                    report.max_queue_depth, len(state.ready) + 1
+                )
+                if resolve_from_store(job):
+                    continue
+                attempt = 0
+                while True:
+                    backoff(attempt)
+                    t0 = time.perf_counter()
+                    record: Optional[Dict[str, Any]] = None
+                    error: Optional[BaseException] = None
+                    try:
+                        record = runner(
+                            job.payload(), attempt, options.timeout_s
+                        )
+                    except (JobTimeout, WorkerCrash) as exc:
+                        error = exc
+                    except Exception as exc:  # noqa: BLE001
+                        error = exc
+                    next_attempt = finish_attempt(
+                        job, attempt, time.perf_counter() - t0, record, error
+                    )
+                    if next_attempt is None:
+                        break
+                    attempt = next_attempt
+        else:
+            in_flight: Dict[Future, Tuple[RepairJob, int, float]] = {}
+            retry_queue: Deque[Tuple[RepairJob, int]] = deque()
+            with ThreadPoolExecutor(max_workers=options.jobs) as pool:
+                while not state.done:
+                    # Fill the pool from retries first, then fresh jobs.
+                    while (
+                        retry_queue or state.ready
+                    ) and len(in_flight) < options.jobs:
+                        if retry_queue:
+                            job, attempt = retry_queue.popleft()
+                        else:
+                            job = state.ready.popleft()
+                            attempt = 0
+                            if resolve_from_store(job):
+                                continue
+                        report.max_queue_depth = max(
+                            report.max_queue_depth,
+                            len(state.ready)
+                            + len(retry_queue)
+                            + len(in_flight)
+                            + 1,
+                        )
+                        backoff(attempt)
+                        future = pool.submit(
+                            runner, job.payload(), attempt, options.timeout_s
+                        )
+                        in_flight[future] = (
+                            job,
+                            attempt,
+                            time.perf_counter(),
+                        )
+                    if not in_flight:
+                        if state.done:
+                            break
+                        # Every remaining job resolved via cache/skip.
+                        continue
+                    done, _ = wait(
+                        set(in_flight), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        job, attempt, t0 = in_flight.pop(future)
+                        record = None
+                        error = None
+                        try:
+                            record = future.result()
+                        except (JobTimeout, WorkerCrash) as exc:
+                            error = exc
+                        except Exception as exc:  # noqa: BLE001
+                            error = exc
+                        next_attempt = finish_attempt(
+                            job,
+                            attempt,
+                            time.perf_counter() - t0,
+                            record,
+                            error,
+                        )
+                        if next_attempt is not None:
+                            retry_queue.append((job, next_attempt))
+        report.wall_time_s = time.perf_counter() - started
+        report.outcomes = state.ordered_outcomes()
+        if store is not None:
+            report.store_hits = store.hits
+            report.store_misses = store.misses
+        if report.wall_time_s > 0:
+            report.worker_utilization = min(
+                busy_s / (options.jobs * report.wall_time_s), 1.0
+            )
+        batch_span.gauge("jobs_total", float(len(report.outcomes)))
+        batch_span.gauge("queue_depth_max", float(report.max_queue_depth))
+        batch_span.gauge("worker_utilization", report.worker_utilization)
+        batch_span.gauge("store_hit_rate", report.cache_hit_rate)
+    return report

@@ -1,0 +1,126 @@
+"""The persistent content-addressed result store.
+
+One JSON file per completed job, named by the job key (see
+:mod:`repro.service.job`), under ``$REPRO_SERVICE_STORE``,
+``--store DIR``, or ``~/.cache/repro/service`` (``$XDG_CACHE_HOME``
+respected).  Writes are atomic (tempfile + rename in the store
+directory) so a crashed or killed engine can never leave a partial
+record; loads are corruption-tolerant — unreadable, non-JSON, or
+wrong-shape records count as misses and are overwritten by the next
+successful run, never propagated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from .job import SCHEMA_VERSION
+
+#: Environment variable overriding the default store directory.
+STORE_ENV_VAR = "REPRO_SERVICE_STORE"
+
+
+def default_store_dir() -> str:
+    """``$REPRO_SERVICE_STORE``, else ``~/.cache/repro/service``."""
+    override = os.environ.get(STORE_ENV_VAR)
+    if override:
+        return override
+    cache_home = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(cache_home, "repro", "service")
+
+
+class ResultStore:
+    """Content-addressed persistence for job results, with hit counters."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root if root is not None else default_store_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- Records -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record for ``key``, or ``None`` (counted).
+
+        A record is only returned when it parses as JSON and carries the
+        expected envelope (matching key and schema version, a ``result``
+        object); anything else — truncated writes from older tools,
+        hand-edited files, disk corruption — is a miss.
+        """
+        try:
+            with open(self.path_for(key)) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("schema_version") != SCHEMA_VERSION
+            or record.get("key") != key
+            or not isinstance(record.get("result"), dict)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> str:
+        """Atomically persist ``record`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp_", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return path
+
+    # -- Maintenance -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of records currently on disk."""
+        try:
+            return sum(
+                1
+                for entry in os.listdir(self.root)
+                if entry.endswith(".json") and not entry.startswith(".")
+            )
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return 0
+        for entry in entries:
+            if entry.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.root, entry))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,306 @@
+"""The worker side of the batch engine: one job, hermetically.
+
+A worker rebuilds its environment from the job's serialized module
+script (a dotted ``pkg.mod:fn`` reference to an environment builder),
+builds the configuration, repairs the target through a fresh
+:class:`~repro.core.repair.RepairSession`, and returns a JSON-ready
+record: the repaired term and type (pretty-printed), every constant the
+session defined along the way (dependencies first — the replay order),
+the decompiled tactic script, a static-analysis report over the result,
+and the :class:`~repro.kernel.stats.KernelStats` delta the repair cost.
+
+Two entry points share the same implementation:
+
+* :func:`run_job` — called in-process by the deterministic serial
+  executor (``--jobs 1`` and tests);
+* ``python -m repro.service.worker`` — the subprocess body the parallel
+  pool launches, reading one JSON payload on stdin and writing one JSON
+  record on stdout.  A crash-injected worker exits with
+  :data:`~repro.service.faults.CRASH_EXIT_CODE` and no output.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.config import ConfigError, Configuration
+from ..core.repair import RepairError, RepairSession
+from ..kernel.env import Environment
+from ..kernel.pretty import pretty
+from ..kernel.stats import KERNEL_STATS
+from ..kernel.term import TermError
+from . import faults
+from .job import LIVE_SETUP, SCHEMA_VERSION, JobError
+
+
+def resolve_ref(ref: str) -> Any:
+    """Import a ``pkg.mod:attr`` dotted reference."""
+    if ":" not in ref:
+        raise JobError(
+            f"bad dotted reference {ref!r}: expected 'pkg.mod:attr'"
+        )
+    module_name, attr = ref.split(":", 1)
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise JobError(f"cannot import {module_name!r}: {exc}") from exc
+    try:
+        return getattr(module, attr)
+    except AttributeError as exc:
+        raise JobError(
+            f"module {module_name!r} has no attribute {attr!r}"
+        ) from exc
+
+
+def build_environment(setup: str) -> Environment:
+    """Rebuild a job's environment from its setup reference."""
+    if setup == LIVE_SETUP:
+        raise JobError(
+            "live jobs carry no environment script; they must be run "
+            "through their session's runner, not a worker"
+        )
+    env = resolve_ref(setup)()
+    if not isinstance(env, Environment):
+        raise JobError(
+            f"setup {setup!r} returned {type(env).__name__}, "
+            "not an Environment"
+        )
+    return env
+
+
+def build_config(env: Environment, spec: Dict[str, Any]) -> Configuration:
+    """Build the job's configuration from its spec."""
+    kind = spec.get("kind")
+    if kind == "auto":
+        from ..core.search import configure
+
+        mapping = spec.get("mapping")
+        return configure(
+            env,
+            spec["a"],
+            spec["b"],
+            mapping=tuple(mapping) if mapping else None,
+        )
+    if kind == "dotted":
+        config = resolve_ref(spec["ref"])(env)
+        if not isinstance(config, Configuration):
+            raise JobError(
+                f"config ref {spec['ref']!r} returned "
+                f"{type(config).__name__}, not a Configuration"
+            )
+        return config
+    raise JobError(f"cannot build config of kind {kind!r} in a worker")
+
+
+def make_rename(
+    spec: Optional[Dict[str, Any]]
+) -> Optional[Callable[[str], str]]:
+    """The rename callable for a job's serializable rename spec."""
+    if spec is None:
+        return None
+    kind = spec.get("kind")
+    if kind == "prefix":
+        prefix = spec["value"]
+        return lambda name: f"{prefix}{name}"
+    if kind == "suffix":
+        suffix = spec["value"]
+        return lambda name: f"{name}{suffix}"
+    if kind == "map":
+        table: Dict[str, str] = dict(spec["map"])
+        fallback = spec.get("prefix", "")
+        suffix = spec.get("suffix", "'" if not fallback else "")
+        return lambda name: table.get(
+            name, f"{fallback}{name}{suffix}"
+        )
+    if kind == "dotted":
+        fn = resolve_ref(spec["ref"])
+        if not callable(fn):
+            raise JobError(f"rename ref {spec['ref']!r} is not callable")
+        return fn  # type: ignore[no-any-return]
+    raise JobError(f"unknown rename kind {kind!r}")
+
+
+def _stats_snapshot() -> Dict[str, Any]:
+    return KERNEL_STATS.snapshot()
+
+def _stats_delta(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The JSON-ready counter movement between two snapshots."""
+    tables: Dict[str, Dict[str, int]] = {}
+    after_tables: Dict[str, Dict[str, int]] = after["tables"]
+    before_tables: Dict[str, Dict[str, int]] = before["tables"]
+    for name, counts in after_tables.items():
+        base = before_tables.get(name, {"hits": 0, "misses": 0})
+        hits = counts["hits"] - base["hits"]
+        misses = counts["misses"] - base["misses"]
+        if hits or misses:
+            tables[name] = {"hits": hits, "misses": misses}
+    events: Dict[str, int] = {}
+    after_events: Dict[str, int] = after["events"]
+    before_events: Dict[str, int] = before["events"]
+    for name, count in after_events.items():
+        delta = count - before_events.get(name, 0)
+        if delta:
+            events[name] = delta
+    return {
+        "constructions": after["constructions"] - before["constructions"],
+        "intern_hits": after["intern_hits"] - before["intern_hits"],
+        "tables": tables,
+        "events": events,
+    }
+
+
+def _analysis_report(env: Environment, name: str) -> List[Dict[str, Any]]:
+    from ..analysis.scope import check_constant
+
+    return [
+        d.to_dict() for d in check_constant(env, env.constant(name))
+    ]
+
+
+def _decompiled(env: Environment, result_name: str, term: Any) -> Optional[str]:
+    from ..decompile.decompiler import decompile_to_script, print_script
+
+    try:
+        script = decompile_to_script(env, term)
+        return print_script(script, name=result_name)
+    except Exception:  # noqa: BLE001 — the script is best-effort extra
+        return None
+
+
+def build_record(
+    env: Environment,
+    session: RepairSession,
+    result: Any,
+    before: Dict[str, Any],
+    started: float,
+    exclude: Optional[set] = None,
+) -> Dict[str, Any]:
+    """The JSON-ready ``ok`` record for one finished repair.
+
+    ``exclude`` filters out old names already accounted for by earlier
+    jobs sharing the session (live batches), so ``defined`` lists only
+    what *this* job added — dependencies first, the replay order.
+    """
+    defined = [
+        {
+            "old": r.old_name,
+            "new": r.new_name,
+            "term": pretty(r.term),
+            "type": pretty(r.type),
+        }
+        for r in session.results.values()
+        if not exclude or r.old_name not in exclude
+    ]
+    return {
+        "status": "ok",
+        "new_name": result.new_name,
+        "term": pretty(result.term),
+        "type": pretty(result.type),
+        "script": _decompiled(env, result.new_name, result.term),
+        "defined": defined,
+        "analysis": _analysis_report(env, result.new_name),
+        "kernel_delta": _stats_delta(before, _stats_snapshot()),
+        "wall_time_s": round(time.perf_counter() - started, 6),
+    }
+
+
+def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one repair job against a freshly built environment."""
+    started = time.perf_counter()
+    before = _stats_snapshot()
+    env = build_environment(payload["setup"])
+    config = build_config(env, payload["config"])
+    session = RepairSession(
+        env,
+        config,
+        old_globals=tuple(payload["old"]),
+        rename=make_rename(payload.get("rename")),
+        skip=list(payload.get("skip") or ()) or None,
+    )
+    result = session.repair_constant(
+        payload["target"], new_name=payload.get("new_name")
+    )
+    return build_record(env, session, result, before, started)
+
+
+def attempt_job(
+    execute: Callable[[], Dict[str, Any]],
+    payload: Dict[str, Any],
+    attempt: int = 0,
+    fault_plan: Optional[faults.FaultPlan] = None,
+    in_process: bool = False,
+) -> Dict[str, Any]:
+    """One attempt at a job: fault hook, then ``execute``, then triage.
+
+    Deterministic repair failures come back ``retryable: false``;
+    injected errors come back ``retryable: true`` so the scheduler's
+    bounded-retry path is exercised without real nondeterminism.
+    Injected crashes kill the process (subprocess workers) or raise
+    :class:`~repro.service.faults.WorkerCrash` (in-process executors).
+    """
+    try:
+        faults.inject(payload["target"], attempt, fault_plan, in_process)
+        return execute()
+    except faults.FaultInjected as exc:
+        return {"status": "failed", "error": str(exc), "retryable": True}
+    except (faults.WorkerCrash, faults.JobTimeout):
+        # In-process crash/timeout semantics are the scheduler's to
+        # handle; these never occur in a subprocess worker.
+        raise
+    except (RepairError, ConfigError, TermError, JobError) as exc:
+        return {
+            "status": "failed",
+            "error": f"{type(exc).__name__}: {exc}",
+            "retryable": False,
+        }
+    except RecursionError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — a worker never crashes the pool
+        return {
+            "status": "failed",
+            "error": f"unexpected {type(exc).__name__}: {exc}",
+            "retryable": False,
+        }
+
+
+def run_job(
+    payload: Dict[str, Any],
+    attempt: int = 0,
+    fault_plan: Optional[faults.FaultPlan] = None,
+    in_process: bool = False,
+) -> Dict[str, Any]:
+    """One hermetic attempt: rebuild the environment, then repair."""
+    return attempt_job(
+        lambda: execute_job(payload), payload, attempt, fault_plan, in_process
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Subprocess body: JSON payload on stdin, JSON record on stdout."""
+    raw = sys.stdin.read()
+    try:
+        envelope = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(
+            json.dumps(
+                {"status": "failed", "error": f"bad payload: {exc}"}
+            )
+        )
+        return 0
+    payload = envelope.get("payload", envelope)
+    attempt = int(envelope.get("attempt", 0))
+    record = run_job(payload, attempt)
+    record["schema_version"] = SCHEMA_VERSION
+    json.dump(record, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

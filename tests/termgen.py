@@ -7,7 +7,15 @@ bound), mentions only stdlib globals (``add``/``pred``/``eq_sym``,
 ``nat``/``bool``/``eq``), and uses a plain ``random.Random`` so failures
 replay from the printed seed.  Terms are *not* necessarily well-typed —
 both reduction engines must agree on ill-typed-but-scoped garbage too.
+
+Fuzz loops should draw through :func:`fuzz_terms`, which owns the RNG
+and yields a label alongside each term carrying the *explicit seed* and
+index — so an assertion that fires deep in a 300-iteration loop names
+the exact ``random.Random(seed)`` replay recipe in its message instead
+of just an opaque index.
 """
+
+import random
 
 from repro.kernel.term import (
     App,
@@ -20,6 +28,18 @@ from repro.kernel.term import (
     Rel,
     Sort,
 )
+
+
+def fuzz_terms(seed, count, env, depth, binders=0):
+    """Yield ``(label, term)`` pairs from an explicitly seeded RNG.
+
+    The label (``seed=<seed> #<i>``) goes into fuzz-test failure
+    messages, so a red run is replayable without digging the seed out of
+    the test body.
+    """
+    rng = random.Random(seed)
+    for i in range(count):
+        yield f"seed={seed} #{i}", random_term(rng, env, depth, binders)
 
 
 def random_term(rng, env, depth, binders):

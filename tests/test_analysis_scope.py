@@ -1,7 +1,5 @@
 """The scope & arity checker: true negatives, true positives, and fuzz."""
 
-import random
-
 import pytest
 
 from repro.analysis import check_environment, check_inductive, check_term
@@ -99,8 +97,8 @@ class TestTruePositives:
 # -- Seeded fuzzing (stdlib random only) -------------------------------------
 
 
-# random_term lives in termgen so the NbE differential fuzzer shares it.
-from tests.termgen import random_term  # noqa: E402
+# The generator lives in termgen so the NbE differential fuzzer shares it.
+from tests.termgen import fuzz_terms  # noqa: E402
 
 
 def bump_first_rel(term, binders=0):
@@ -169,33 +167,27 @@ def drop_first_elim_case(term):
 
 class TestFuzz:
     def test_generated_terms_are_accepted(self, env):
-        rng = random.Random(20260805)
-        for _ in range(200):
-            term = random_term(rng, env, depth=4, binders=0)
-            assert check_term(env, term) == []
+        for label, term in fuzz_terms(20260805, 200, env, depth=4):
+            assert check_term(env, term) == [], label
 
     def test_off_by_one_rel_is_rejected(self, env):
-        rng = random.Random(20260806)
         mutated_count = 0
-        for _ in range(300):
-            term = random_term(rng, env, depth=4, binders=0)
+        for label, term in fuzz_terms(20260806, 300, env, depth=4):
             mutated = bump_first_rel(term)
             if mutated is None:
                 continue
             mutated_count += 1
             codes = [d.code for d in check_term(env, mutated)]
-            assert "RA001" in codes, (term, mutated)
+            assert "RA001" in codes, (label, term, mutated)
         assert mutated_count >= 50
 
     def test_dropped_elim_case_is_rejected(self, env):
-        rng = random.Random(20260807)
         mutated_count = 0
-        for _ in range(300):
-            term = random_term(rng, env, depth=4, binders=0)
+        for label, term in fuzz_terms(20260807, 300, env, depth=4):
             mutated = drop_first_elim_case(term)
             if mutated is None:
                 continue
             mutated_count += 1
             codes = [d.code for d in check_term(env, mutated)]
-            assert "RA006" in codes, (term, mutated)
+            assert "RA006" in codes, (label, term, mutated)
         assert mutated_count >= 50

@@ -24,7 +24,7 @@ from repro.kernel.reduce import beta_reduce, nf, whnf
 from repro.kernel.stats import KERNEL_STATS
 from repro.kernel.term import App, Const, Constr, Ind, Lam, Rel, lift, mk_app
 from repro.stdlib import make_env
-from tests.termgen import random_term
+from tests.termgen import fuzz_terms, random_term
 
 
 @pytest.fixture(scope="module")
@@ -66,36 +66,32 @@ def _assert_same(env, label, fn, render=pretty):
 
 class TestNfDifferential:
     def test_nf_fuzz(self, env):
-        rng = random.Random(20260805)
-        for i in range(300):
-            term = random_term(rng, env, depth=4, binders=0)
-            _assert_same(env, f"nf #{i}: {pretty(term)}", lambda: nf(env, term))
+        for label, term in fuzz_terms(20260805, 300, env, depth=4):
+            _assert_same(
+                env, f"nf {label}: {pretty(term)}", lambda: nf(env, term)
+            )
 
     def test_machine_monolithic_nf_matches_hybrid(self, env):
         # nf() reduces per node with caching; machine.nf_term is one
         # evaluate-then-quote pass.  They must agree with each other (and
         # hence with the legacy engine, by test_nf_fuzz).
-        rng = random.Random(20260806)
         checked = 0
-        for _ in range(300):
-            term = random_term(rng, env, depth=4, binders=0)
+        for label, term in fuzz_terms(20260806, 300, env, depth=4):
             try:
                 hybrid = nf(env, term)
             except Exception:  # noqa: BLE001 — error parity covered above
                 continue
             env.reduction_cache.clear()
             mono = machine.nf_term(env, term, True, frozenset())
-            assert pretty(mono) == pretty(hybrid), pretty(term)
+            assert pretty(mono) == pretty(hybrid), f"{label}: {pretty(term)}"
             checked += 1
         assert checked > 200  # the generator rarely makes reduction fail
 
     def test_beta_nf_fuzz(self, env):
-        rng = random.Random(20260807)
-        for _ in range(300):
-            term = random_term(rng, env, depth=4, binders=1)
+        for label, term in fuzz_terms(20260807, 300, env, depth=4, binders=1):
             assert pretty(machine.beta_nf_term(term)) == pretty(
                 beta_reduce(term)
-            ), pretty(term)
+            ), f"{label}: {pretty(term)}"
 
     def test_deep_numeral_parity(self, env):
         # One closure per successor: exercises the machine's explicit
@@ -116,12 +112,10 @@ class TestWhnfDifferential:
         ids=["delta", "frozen", "no-delta"],
     )
     def test_whnf_fuzz(self, env, delta, frozen):
-        rng = random.Random(20260808)
-        for i in range(200):
-            term = random_term(rng, env, depth=4, binders=0)
+        for label, term in fuzz_terms(20260808, 200, env, depth=4):
             _assert_same(
                 env,
-                f"whnf #{i}: {pretty(term)}",
+                f"whnf {label}: {pretty(term)}",
                 lambda: whnf(env, term, delta=delta, frozen=frozen),
             )
 
@@ -143,11 +137,12 @@ class TestWhnfDifferential:
 
 class TestConvDifferential:
     def test_conv_fuzz(self, env):
-        rng = random.Random(20260809)
+        seed = 20260809
+        rng = random.Random(seed)
         for i in range(200):
             t1 = random_term(rng, env, depth=3, binders=0)
             t2 = random_term(rng, env, depth=3, binders=0)
-            label = f"conv #{i}: {pretty(t1)} ~ {pretty(t2)}"
+            label = f"conv seed={seed} #{i}: {pretty(t1)} ~ {pretty(t2)}"
             _assert_same(env, label, lambda: conv(env, t1, t2), render=str)
             _assert_same(env, label, lambda: sub(env, t1, t2), render=str)
 
@@ -161,10 +156,8 @@ class TestConvDifferential:
         # errors, not crashes.
         from repro.kernel.inductive import InductiveError
 
-        rng = random.Random(20260810)
         agreed = 0
-        for i in range(100):
-            t = random_term(rng, env, depth=3, binders=0)
+        for label, t in fuzz_terms(20260810, 100, env, depth=3):
             expanded = Lam("x", Ind("nat"), App(lift(t, 1), Rel(0)))
             on_status, on_value = _run_engine(
                 env, True, lambda: conv(env, t, expanded)
@@ -173,13 +166,13 @@ class TestConvDifferential:
                 env, False, lambda: conv(env, t, expanded)
             )
             if on_status == "ok" and off_status == "ok":
-                assert on_value == off_value, f"eta #{i}: {pretty(t)}"
+                assert on_value == off_value, f"eta {label}: {pretty(t)}"
                 agreed += 1
             else:
                 assert {on_status, off_status} <= {
                     "ok",
                     InductiveError.__name__,
-                }, f"eta #{i}: {pretty(t)}"
+                }, f"eta {label}: {pretty(t)}"
         assert agreed > 80  # ill-typed-elim collisions are the rare case
 
     def test_eta_positive(self, env):

@@ -61,3 +61,23 @@ class TestHistory:
         report["history"] = [{"timestamp": 3}]
         with pytest.raises(report_schema.ReportError):
             report_schema.write_report(str(tmp_path / "x.json"), report)
+
+
+class TestPoolWidthFields:
+    """Service-batch phases record pool width as ``jobs``/``workers``."""
+
+    def test_valid_pool_fields_pass(self):
+        report = _report()
+        report["phases"]["phase/a"].update(jobs=4, workers=2)
+        assert report_schema.validate_report(report) == []
+
+    @pytest.mark.parametrize("field", ["jobs", "workers"])
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2", True])
+    def test_bad_pool_fields_rejected(self, field, bad):
+        report = _report()
+        report["phases"]["phase/a"][field] = bad
+        errors = report_schema.validate_report(report)
+        assert any(field in e and "positive int" in e for e in errors)
+
+    def test_omitted_pool_fields_stay_valid(self):
+        assert report_schema.validate_report(_report()) == []
