@@ -8,9 +8,13 @@ The default ``<case>/*`` phases run with the NbE machine engine (the
 default); an ablation re-runs every case with ``REPRO_DISABLE_NBE``
 semantics (:func:`repro.kernel.machine.set_nbe`) under ``nbe_off/*``
 phases, and an ``nbe`` extra summarizes the repair-phase wall-time and
-``subst``-lookup ratios between the engines.  Optionally also writes
-the full Chrome trace-event JSON (``chrome://tracing`` / Perfetto) for
-interactive inspection.
+``subst``-lookup ratios between the engines.  A second ablation does
+the same for the transformer fast path (``REPRO_DISABLE_TRANSFORM_FAST``
+semantics via :func:`repro.kernel.fastpath.set_transform_fast`) under
+``transform_fast_off/*`` phases with a ``transform_fast`` extra, so the
+in-run ratios carry machine-independent evidence for both engine
+switches.  Optionally also writes the full Chrome trace-event JSON
+(``chrome://tracing`` / Perfetto) for interactive inspection.
 
 Usage::
 
@@ -127,6 +131,28 @@ def check_nbe_transparency() -> None:
         )
 
 
+def check_transform_fast_transparency() -> None:
+    """Both transformer drivers must repair to byte-identical output."""
+    from repro.kernel.fastpath import set_transform_fast
+
+    previous = set_transform_fast(True)
+    try:
+        fast = _repair_outputs()
+    finally:
+        set_transform_fast(previous)
+    previous = set_transform_fast(False)
+    try:
+        legacy = _repair_outputs()
+    finally:
+        set_transform_fast(previous)
+    if fast != legacy:
+        raise RuntimeError(
+            "repair output differs between the stack-driver fast path and "
+            "the legacy recursive transformer — the drivers must be "
+            "observationally identical"
+        )
+
+
 def _run_case(name: str) -> None:
     if name == "replica":
         from repro.cases.replica import run_scenario
@@ -193,8 +219,38 @@ def _nbe_summary(phases: dict) -> dict:
     return summary
 
 
+def _transform_fast_summary(phases: dict) -> dict:
+    """Fast-path on/off ratios for transform and repair, per case."""
+    from repro.kernel.fastpath import set_transform_fast  # noqa: F401
+
+    summary: dict = {}
+    for case in CASES:
+        on = phases.get(f"{case}/repair")
+        off = phases.get(f"transform_fast_off/{case}/repair")
+        if not on or not off:
+            continue
+        entry = {
+            "repair_wall_on_s": on["wall_time_s"],
+            "repair_wall_off_s": off["wall_time_s"],
+            "repair_speedup": round(
+                off["wall_time_s"] / max(on["wall_time_s"], 1e-9), 2
+            ),
+        }
+        t_on = phases.get(f"{case}/transform")
+        t_off = phases.get(f"transform_fast_off/{case}/transform")
+        if t_on and t_off:
+            entry["transform_wall_on_s"] = t_on["wall_time_s"]
+            entry["transform_wall_off_s"] = t_off["wall_time_s"]
+            entry["transform_speedup"] = round(
+                t_off["wall_time_s"] / max(t_on["wall_time_s"], 1e-9), 2
+            )
+        summary[case] = entry
+    return summary
+
+
 def build_report() -> dict:
     """Run every case traced; return the shared-schema report dict."""
+    from repro.kernel.fastpath import set_transform_fast
     from repro.kernel.machine import set_nbe
 
     previous = set_tracing(True)
@@ -210,10 +266,22 @@ def build_report() -> dict:
                 _traced_case_phases(phases, case, "nbe_off/")
         finally:
             set_nbe(nbe_previous)
+        # Transformer ablation: same cases on the legacy recursive driver.
+        fast_previous = set_transform_fast(False)
+        try:
+            for case in CASES:
+                _traced_case_phases(phases, case, "transform_fast_off/")
+        finally:
+            set_transform_fast(fast_previous)
         _analysis_phases(phases)
     finally:
         set_tracing(previous)
-    return make_report("pipeline", phases, nbe=_nbe_summary(phases))
+    return make_report(
+        "pipeline",
+        phases,
+        nbe=_nbe_summary(phases),
+        transform_fast=_transform_fast_summary(phases),
+    )
 
 
 def print_summary(report: dict) -> None:
@@ -227,6 +295,20 @@ def print_summary(report: dict) -> None:
             f"{entry['repair_subst_lookups_off']} "
             f"({entry['repair_subst_drop']}x fewer)"
         )
+    for case, entry in sorted(report.get("transform_fast", {}).items()):
+        line = (
+            f"transform_fast {case}: repair "
+            f"{entry['repair_wall_on_s']:.4f}s on / "
+            f"{entry['repair_wall_off_s']:.4f}s off "
+            f"({entry['repair_speedup']}x)"
+        )
+        if "transform_speedup" in entry:
+            line += (
+                f", transform {entry['transform_wall_on_s']:.4f}s / "
+                f"{entry['transform_wall_off_s']:.4f}s "
+                f"({entry['transform_speedup']}x)"
+            )
+        print(line)
     for case in CASES + tuple(f"analysis/{case}" for case in CASES):
         print(f"{case}:")
         names = sorted(
@@ -267,6 +349,11 @@ def main(argv) -> int:
         print("analysis transparency: repair output identical with gate on")
         check_nbe_transparency()
         print("engine transparency: repair output identical across engines")
+        check_transform_fast_transparency()
+        print(
+            "transformer transparency: repair output identical across "
+            "drivers"
+        )
         report = build_report()
         write_report(out_path, report)
     except Exception as exc:

@@ -6,7 +6,10 @@ phase and exits non-zero when the fresh run regressed:
 * **wall time** — fail when a phase is slower than
   ``baseline * (1 + tolerance)`` *and* slower by at least
   ``--min-seconds`` (absolute floor, so microsecond phases cannot trip
-  the gate on scheduler noise);
+  the gate on scheduler noise); ``*/transform`` phases use the tighter
+  ``--transform-min-seconds`` floor so the transformer hot path — a few
+  milliseconds per case by design — is actually guarded rather than
+  hidden under the general noise floor;
 * **cache hit rates** — fail when any table's hit rate dropped by more
   than ``--hit-rate-drop`` percentage points (machine-independent, so
   this catches cache-layer regressions even across different runners);
@@ -29,12 +32,18 @@ from typing import List
 from report_schema import ReportError, load_report
 
 
+def _is_transform_phase(name: str) -> bool:
+    """Whether ``name`` is a transformer hot-path wall-time entry."""
+    return name.rsplit("/", 1)[-1] == "transform"
+
+
 def compare(
     current: dict,
     baseline: dict,
     tolerance: float,
     hit_rate_drop: float,
     min_seconds: float,
+    transform_min_seconds: float = 0.005,
 ) -> List[str]:
     """Human-readable regression descriptions; empty means the gate passes."""
     regressions: List[str] = []
@@ -53,7 +62,12 @@ def compare(
         base_wall = base["wall_time_s"]
         cur_wall = cur["wall_time_s"]
         limit = base_wall * (1.0 + tolerance)
-        if cur_wall > limit and cur_wall - base_wall > min_seconds:
+        floor = (
+            transform_min_seconds
+            if _is_transform_phase(name)
+            else min_seconds
+        )
+        if cur_wall > limit and cur_wall - base_wall > floor:
             regressions.append(
                 f"{name}: wall time {cur_wall:.4f}s exceeds baseline "
                 f"{base_wall:.4f}s by more than {tolerance:.0%} "
@@ -99,6 +113,16 @@ def main(argv) -> int:
         default=0.05,
         help="absolute wall-time floor below which slowdowns are noise",
     )
+    parser.add_argument(
+        "--transform-min-seconds",
+        type=float,
+        default=0.005,
+        help=(
+            "absolute wall-time floor for */transform phases "
+            "(default: 0.005, tighter than --min-seconds so the "
+            "transformer hot path is guarded)"
+        ),
+    )
     args = parser.parse_args(argv[1:])
 
     try:
@@ -123,6 +147,7 @@ def main(argv) -> int:
         tolerance=args.tolerance,
         hit_rate_drop=args.hit_rate_drop,
         min_seconds=args.min_seconds,
+        transform_min_seconds=args.transform_min_seconds,
     )
     checked = len(set(baseline["phases"]) & set(current["phases"]))
     if regressions:

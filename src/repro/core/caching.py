@@ -6,15 +6,23 @@ transformation" — was needed to keep repair under the ~10 seconds an
 industrial proof engineer would wait.  :class:`TransformCache` is that
 cache; it can be disabled (the paper exposes the same switch) and it
 counts hits and misses so the caching ablation benchmark can report its
-effect.
+effect.  Lookups are mirrored into the process-wide
+:data:`~repro.kernel.stats.KERNEL_STATS` table ``transform_cache`` so
+tracing spans and the pipeline bench report the hit rate alongside the
+kernel's own caches.
 
 Keys are built by :meth:`TransformCache.key_for`, which *prunes* the
-context component down to the entries the term can actually observe: the
-transitive closure of its free de Bruijn variables.  Under deep binder
+context component down to a prefix covering the entries the term can
+actually observe (its free de Bruijn variables plus the entries their
+types reach).  Under deep binder
 nesting (eliminator cases, long telescopes) the same subterm recurs
 under many syntactically different contexts that agree on the entries it
 uses; pruning makes those lookups hit.  Hash-consed terms (see
 :mod:`repro.kernel.term`) make the keys cheap to hash and compare.
+Key construction itself is memoized per (term, context) identity —
+interned contexts (:meth:`repro.kernel.context.Context.push`) make the
+same subterm under the same binder chain hit without re-running the
+pruning walk, which used to be over half the transformer's cost.
 """
 
 from __future__ import annotations
@@ -23,7 +31,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..kernel.context import Context
-from ..kernel.term import Term, free_rels, max_free_rel
+from ..kernel.stats import KERNEL_STATS
+from ..kernel.term import Term, max_free_rel
+
+_TRANSFORM_COUNTER = KERNEL_STATS.counter("transform_cache")
+
+#: Bound on the key memo, mirroring the kernel's `_MEMO_MAX` discipline.
+_KEY_MEMO_MAX = 1 << 20
 
 
 @dataclass
@@ -35,16 +49,17 @@ class TransformCache:
     hits: int = 0
     misses: int = 0
     _store: Dict[Tuple, Tuple] = field(default_factory=dict)
+    _keys: Dict[Tuple, Tuple] = field(default_factory=dict)
 
     def key_for(self, term: Term, ctx: Context) -> Tuple:
         """Cache key for transforming ``term`` under ``ctx``.
 
         Only context entries reachable from the term's free variables
         (following free variables of the entry types themselves) can
-        influence the transformation, so the key records just those
-        entries, tagged with their de Bruijn positions.  Two occurrences
-        of the same subterm under contexts that agree on that slice
-        share one entry.
+        influence the transformation, so the key records just a prefix
+        of the context covering those entries.  Two occurrences of the
+        same subterm under contexts that agree on that prefix share one
+        entry.
 
         The key pairs an identity-based lookup tuple with the pinned
         referents: term equality ignores binder display names, so a
@@ -52,30 +67,40 @@ class TransformCache:
         else's names.  Hash-consed terms are pointer-identical when
         names also agree, so identity keys still hit.
         """
+        memo_key = (id(term), id(ctx))
+        entry = self._keys.get(memo_key)
+        if entry is not None:
+            return entry[2]
+        key = self._build_key(term, ctx)
+        if len(self._keys) >= _KEY_MEMO_MAX:
+            self._keys.clear()
+        # Pin the term and context so the ids in the memo key stay valid.
+        self._keys[memo_key] = (term, ctx, key)
+        return key
+
+    def _build_key(self, term: Term, ctx: Context) -> Tuple:
         entries = ctx.entries
         if not self.prune_context:
-            pinned = tuple(ty for _name, ty in entries)
-            lookup = (id(term), tuple(id(ty) for ty in pinned))
-            return (lookup, (term, pinned))
+            return ((id(term), ctx.type_ids()), (term, ctx))
         size = len(entries)
-        if size == 0 or max_free_rel(term) == 0:
+        k = max_free_rel(term)
+        if size == 0 or k == 0:
             return ((id(term), ()), (term, ()))
-        needed: set = set()
-        pending = [i for i in free_rels(term) if i < size]
-        while pending:
-            i = pending.pop()
-            if i in needed:
-                continue
-            needed.add(i)
-            # The type of entry i lives under entries i+1..; its free
-            # Rel(j) refers to entry i+1+j.
-            for j in free_rels(entries[i][1]):
-                k = i + 1 + j
-                if k < size and k not in needed:
-                    pending.append(k)
-        pinned = tuple((i, entries[i][1]) for i in sorted(needed))
-        lookup = (id(term), tuple((i, id(ty)) for i, ty in pinned))
-        return (lookup, (term, pinned))
+        if k > size:
+            k = size
+        # Extend to a dependency-closed prefix: the type of entry i lives
+        # under entries i+1.., so its free Rel(j) reaches entry i+1+j.
+        # Integer bounds (cached per node) in a single widening pass are
+        # far cheaper than the exact free-variable closure, and a prefix
+        # containing the closure determines the transform output just the
+        # same — the key is merely a little coarser across contexts.
+        i = 0
+        while i < k:
+            reach = i + 1 + max_free_rel(entries[i][1])
+            if reach > k:
+                k = reach if reach < size else size
+            i += 1
+        return ((id(term), ctx.type_ids()[:k]), (term, ctx))
 
     def get(self, key: Tuple) -> Optional[Term]:
         if not self.enabled:
@@ -83,8 +108,10 @@ class TransformCache:
         entry = self._store.get(key[0])
         if entry is None:
             self.misses += 1
+            _TRANSFORM_COUNTER.misses += 1
             return None
         self.hits += 1
+        _TRANSFORM_COUNTER.hits += 1
         return entry[1]
 
     def put(self, key: Tuple, value: Term) -> None:
@@ -95,6 +122,7 @@ class TransformCache:
 
     def clear(self) -> None:
         self._store.clear()
+        self._keys.clear()
         self.hits = 0
         self.misses = 0
 

@@ -37,17 +37,47 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..kernel.context import Context
 from ..kernel.env import Environment
+from ..kernel.fastpath import transform_fast_enabled
 from ..kernel.reduce import beta_reduce, whnf
 from ..kernel.term import (
     Const,
     Constr,
     Elim,
     Ind,
+    Lam,
     Term,
     mk_app,
+    subst_many,
     unfold_app,
 )
 from ..kernel.typecheck import infer
+
+
+def _applied(fn: Term, args: Sequence[Term]) -> Term:
+    """Apply a configuration term and beta-reduce (Figure 11, step 4).
+
+    On the fast path the head ``Lam``-spine is contracted with a single
+    parallel :func:`subst_many` before handing the remainder to
+    :func:`beta_reduce` — one arena walk instead of one substitution
+    pass per binder.  Parallel spine contraction equals the sequential
+    beta steps (each argument lives outside every contracted binder),
+    and beta normal forms are unique, so the output is identical;
+    ``REPRO_DISABLE_TRANSFORM_FAST=1`` restores the one-at-a-time path.
+    """
+    applied = mk_app(fn, args)
+    if transform_fast_enabled():
+        head, rest = unfold_app(applied)
+        if isinstance(head, Lam) and rest:
+            body = head
+            n = 0
+            while isinstance(body, Lam) and n < len(rest):
+                body = body.body
+                n += 1
+            if n > 1:
+                applied = mk_app(
+                    subst_many(body, tuple(reversed(rest[:n]))), rest[n:]
+                )
+    return beta_reduce(applied)
 
 
 class ConfigError(Exception):
@@ -71,7 +101,16 @@ class ElimMatch:
 
 
 class Side:
-    """One side of the equivalence: configuration terms plus heuristics."""
+    """One side of the equivalence: configuration terms plus heuristics.
+
+    A side that overrides a matcher may also declare a *head-class
+    hint* — ``match_<rule>_heads``, a tuple of term classes — promising
+    the matcher can only succeed when the term's application head is an
+    instance of one of them.  The single-pass transformer computes the
+    head class once per node and skips hinted matchers that cannot
+    fire; a side without hints is always consulted, so hints are purely
+    an opt-in dispatch optimization.
+    """
 
     #: number of type-family parameters (shared by both sides)
     n_params: int = 0
@@ -103,6 +142,21 @@ class Side:
         return None
 
     # -- Unification heuristics (matching) -----------------------------------
+
+    def trigger_globals(self) -> Optional[frozenset]:
+        """Global names at least one of which every match mentions.
+
+        A side may promise that none of its matchers (``match_type``,
+        ``match_constr``, ``match_proj``, ``match_elim``, ``match_iota``)
+        can succeed on a term unless the term references — in the
+        :func:`~repro.kernel.term.collect_globals` sense — at least one
+        of the returned names.  The single-pass transformer uses this to
+        pass whole subtrees through unchanged: a subtree mentioning no
+        trigger of any configuration (and no renamed constant) cannot
+        match a rule anywhere inside, so it transforms to itself.
+        ``None`` (the default) makes no promise and disables that skip.
+        """
+        return None
 
     def match_type(
         self, env: Environment, term: Term
@@ -153,6 +207,12 @@ class AlignedSide(Side):
     it is the swap/rename configuration of Figure 8.
     """
 
+    # Every matcher guards on its application head first; declare that
+    # as dispatch hints so the fast transformer can skip the calls.
+    match_type_heads = (Ind,)
+    match_constr_heads = (Constr,)
+    match_elim_heads = (Elim,)
+
     def __init__(self, env: Environment, ind_name: str, perm=None) -> None:
         decl = env.inductive(ind_name)
         self.ind_name = ind_name
@@ -201,6 +261,10 @@ class AlignedSide(Side):
         return self._arities[j]
 
     # -- Matching -----------------------------------------------------------
+
+    def trigger_globals(self) -> Optional[frozenset]:
+        # Every matcher requires an Ind/Constr/Elim head naming the family.
+        return frozenset((self.ind_name,))
 
     def match_type(self, env: Environment, term: Term):
         head, args = unfold_app(term)
@@ -285,17 +349,15 @@ class TermSide(Side):
         return None
 
     def make_type(self, params: Sequence[Term]) -> Term:
-        return beta_reduce(mk_app(self.type_fn, params))
+        return _applied(self.type_fn, params)
 
     def make_constr(
         self, j: int, params: Sequence[Term], args: Sequence[Term]
     ) -> Term:
-        return beta_reduce(
-            mk_app(self.dep_constr[j], tuple(params) + tuple(args))
-        )
+        return _applied(self.dep_constr[j], tuple(params) + tuple(args))
 
     def make_elim(self, match: ElimMatch) -> Term:
-        applied = mk_app(
+        return _applied(
             self.dep_elim,
             tuple(match.params)
             + (match.motive,)
@@ -303,7 +365,6 @@ class TermSide(Side):
             + (match.scrut,)
             + tuple(match.extra_args),
         )
-        return beta_reduce(applied)
 
     def constr_arity(self, j: int) -> int:
         return self._arities[j]
@@ -311,7 +372,7 @@ class TermSide(Side):
     def make_iota(self, j: int, args: Sequence[Term]) -> Optional[Term]:
         if self.iota[j] is None:
             return None
-        return beta_reduce(mk_app(self.iota[j], args))
+        return _applied(self.iota[j], args)
 
 
 class MarkedIotaSide(AlignedSide):
@@ -324,6 +385,8 @@ class MarkedIotaSide(AlignedSide):
     can replace them with ``Iota(j, B)``.
     """
 
+    match_iota_heads = (Const,)
+
     def __init__(
         self,
         env: Environment,
@@ -333,6 +396,13 @@ class MarkedIotaSide(AlignedSide):
     ) -> None:
         super().__init__(env, ind_name, perm)
         self.iota_names = tuple(iota_names)
+
+    def trigger_globals(self) -> Optional[frozenset]:
+        # The aligned matchers need the family name; the iota matcher
+        # needs one of the mark constants.
+        return frozenset((self.ind_name,)) | frozenset(
+            name for name in self.iota_names if name is not None
+        )
 
     def match_iota(self, env: Environment, ctx: Context, term: Term):
         head, args = unfold_app(term)

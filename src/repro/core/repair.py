@@ -167,20 +167,20 @@ class RepairSession:
         if decl.body is None:
             raise RepairError(f"cannot repair bodyless constant {name!r}")
         deps = collect_globals(decl.body) | collect_globals(decl.type)
-        for dep in sorted(deps, key=self._declaration_position):
+        # One pass over the declaration order instead of one `.index`
+        # scan per dependency; setdefault keeps first-occurrence
+        # positions, matching `.index` on duplicate names.
+        order: Dict[str, int] = {}
+        for i, declared in enumerate(self.env.declaration_order()):
+            order.setdefault(declared, i)
+        fallback = len(order)
+        for dep in sorted(deps, key=lambda n: order.get(n, fallback)):
             if dep == name:
                 continue
             if dep in self.config.const_map:
                 continue
             if self._needs_repair(dep):
                 self.repair_constant(dep)
-
-    def _declaration_position(self, name: str) -> int:
-        order = self.env.declaration_order()
-        try:
-            return order.index(name)
-        except ValueError:
-            return len(order)
 
     # -- Whole modules -----------------------------------------------------------
 

@@ -117,6 +117,21 @@ class TupleSide(Side):
 
     # -- Matching ----------------------------------------------------------------
 
+    # Head-class hints for the fast transformer driver; each mirrors the
+    # matcher's own first guard (the tuple type's head is ``Ind("prod")``,
+    # an alias is a ``Const``).
+    match_type_heads = (Const, Ind)
+    match_constr_heads = (Constr,)
+    match_proj_heads = (Const,)
+
+    def trigger_globals(self):
+        # Tuple types and pairs are headed by the ``prod`` family, and
+        # projections by ``fst``/``snd``; an alias adds its constant.
+        names = {"prod", "fst", "snd"}
+        if self.alias is not None:
+            names.add(self.alias)
+        return frozenset(names)
+
     def match_type(self, env: Environment, term: Term):
         if self.alias is not None and term == Const(self.alias):
             return ()
@@ -328,6 +343,16 @@ class RecordSide(Side):
         )
 
     # -- Matching ------------------------------------------------------------------
+
+    match_type_heads = (Ind,)
+    match_constr_heads = (Constr,)
+    match_proj_heads = (Const,)
+    match_elim_heads = (Elim,)
+
+    def trigger_globals(self):
+        # Record terms are headed by the record family, projections by
+        # the field-name constants.
+        return frozenset((self.record_name,)) | frozenset(self.field_names)
 
     def match_type(self, env: Environment, term: Term):
         if term == Ind(self.record_name):

@@ -11,6 +11,11 @@ correctness, mirroring how the Coq kernel vets plugin output.
 from .context import Context
 from .convert import conv, sub
 from .env import ConstantDecl, EnvError, Environment
+from .fastpath import (
+    TRANSFORM_FAST_DISABLED_BY_ENV,
+    set_transform_fast,
+    transform_fast_enabled,
+)
 from .machine import NBE_DISABLED_BY_ENV, nbe_enabled, set_nbe
 from .inductive import (
     ConstructorDecl,
@@ -92,6 +97,7 @@ __all__ = [
     "EventCounter",
     "KernelStats",
     "NBE_DISABLED_BY_ENV",
+    "TRANSFORM_FAST_DISABLED_BY_ENV",
     "ReductionCache",
     "abstract_term",
     "beta_iota_reduce",
@@ -122,10 +128,12 @@ __all__ = [
     "set_nbe",
     "set_reduction_cache_default",
     "set_term_memo",
+    "set_transform_fast",
     "sub",
     "subst",
     "subst_many",
     "term_memo_enabled",
+    "transform_fast_enabled",
     "type_sort",
     "typecheck_closed",
     "unfold_app",

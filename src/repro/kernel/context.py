@@ -4,14 +4,34 @@ A :class:`Context` is an immutable stack of ``(name, type)`` entries where
 entry 0 is the *innermost* binder (``Rel(0)``).  Types are stored as they
 were at declaration time; :meth:`Context.type_of` lifts them into the
 current context.
+
+Contexts are interned the way terms are: :meth:`Context.empty` is a
+singleton and :meth:`Context.push` memoizes per (parent, name, type)
+identity, so the same binder chain always yields the *same* context
+object.  Identity-keyed caches (the transform cache's key memo, the
+``infer``/``check`` verdict memos) rely on this to hit without hashing
+entry tuples; the memo's values pin their referents so ids stay valid,
+and the table is registered with the term-cache registry so
+``clear_term_caches`` empties it with the rest.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, Tuple
 
-from .term import Term, TermError, lift
+from .term import (
+    Term,
+    TermError,
+    lift,
+    register_term_cache,
+    term_memo_enabled,
+)
+
+#: (id(parent), name, id(type)) -> (parent, type, child); the value pins
+#: the key's referents so their ids cannot be recycled while it lives.
+_PUSH_MEMO: Dict[tuple, tuple] = register_term_cache({})
+_PUSH_MEMO_MAX = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -22,11 +42,33 @@ class Context:
 
     @staticmethod
     def empty() -> "Context":
-        return Context(())
+        return _EMPTY_CONTEXT
 
     def push(self, name: str, ty: Term) -> "Context":
         """Extend the context with a new innermost binder."""
-        return Context(((name, ty),) + self.entries)
+        if not term_memo_enabled():
+            return Context(((name, ty),) + self.entries)
+        key = (id(self), name, id(ty))
+        entry = _PUSH_MEMO.get(key)
+        if entry is not None:
+            return entry[2]
+        child = Context(((name, ty),) + self.entries)
+        if len(_PUSH_MEMO) >= _PUSH_MEMO_MAX:
+            _PUSH_MEMO.clear()
+        _PUSH_MEMO[key] = (self, ty, child)
+        return child
+
+    def type_ids(self) -> Tuple[int, ...]:
+        """The entry types' ids, for identity-keyed kernel cache keys.
+
+        Computed once per context object; the ids stay valid because the
+        context itself pins every entry type.
+        """
+        ids = self.__dict__.get("_type_ids")
+        if ids is None:
+            ids = tuple(id(ty) for _name, ty in self.entries)
+            object.__setattr__(self, "_type_ids", ids)
+        return ids
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -59,3 +101,6 @@ class Context:
         while f"{hint}{counter}" in used:
             counter += 1
         return f"{hint}{counter}"
+
+
+_EMPTY_CONTEXT = Context(())

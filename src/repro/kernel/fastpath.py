@@ -1,0 +1,50 @@
+"""The transformer fast-path switch (``REPRO_DISABLE_TRANSFORM_FAST``).
+
+The Figure-10 transformer has two observationally identical drivers: the
+original recursive descent and the single memoized explicit-stack pass
+(:mod:`repro.core.transform`), plus the fast-path codepaths that ride on
+it — bidirectional ``check`` with verdict memoization
+(:mod:`repro.kernel.typecheck`) and batched head-spine substitution in
+``_head_beta`` / the ``TermSide`` constructors.  Both produce
+byte-identical repairs; the differential fuzz suite in
+``tests/test_transform_fast.py`` enforces it.
+
+The flag lives in its own kernel module so both the kernel
+(``typecheck``) and the core (``transform``, ``config``) can consult it
+without import cycles.  It mirrors the NbE and kernel-cache switches:
+off by default only when ``REPRO_DISABLE_TRANSFORM_FAST=1`` is set
+before import, toggleable at runtime with :func:`set_transform_fast`
+(which returns the previous setting, for try/finally scoping in tests
+and ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: True when the fast path was disabled via the environment.
+TRANSFORM_FAST_DISABLED_BY_ENV: bool = os.environ.get(
+    "REPRO_DISABLE_TRANSFORM_FAST", ""
+) not in ("", "0")
+
+_fast_enabled: bool = not TRANSFORM_FAST_DISABLED_BY_ENV
+
+
+def set_transform_fast(enabled: bool) -> bool:
+    """Enable/disable the fast path; returns the previous setting."""
+    global _fast_enabled
+    previous = _fast_enabled
+    _fast_enabled = enabled
+    return previous
+
+
+def transform_fast_enabled() -> bool:
+    """True when the single-pass transformer and its codepaths are on."""
+    return _fast_enabled
+
+
+__all__ = [
+    "TRANSFORM_FAST_DISABLED_BY_ENV",
+    "set_transform_fast",
+    "transform_fast_enabled",
+]

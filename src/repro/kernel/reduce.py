@@ -149,6 +149,16 @@ def _whnf_nbe(
     # the machine would pay a full eval + readback for nothing).
     if not isinstance(term, (App, Elim, Const)):
         return term
+    if type(term) is App:
+        # An application whose spine head is a variable, inductive, or
+        # constructor is neutral: no delta/beta/iota step can fire at the
+        # head, so the term is its own whnf — skip the machine round trip
+        # (type checking probes types like ``list A`` constantly).
+        head = term.fn
+        while type(head) is App:
+            head = head.fn
+        if not isinstance(head, (Lam, Const, Elim)):
+            return term
     cache = env.reduction_cache
     key = _whnf_key(term, delta, frozen) if cache.enabled else None
     if key is not None:

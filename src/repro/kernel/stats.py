@@ -90,7 +90,11 @@ class KernelStats:
     * one :class:`CacheCounter` per memo table, created on demand:
       ``lift``, ``subst``, ``free_rels`` (de Bruijn ops), ``whnf``,
       ``nf`` (reduction cache), ``conv`` (conversion), ``infer``
-      (type inference), ``machine_thunk`` (NbE closure sharing);
+      (type inference), ``check`` (bidirectional verdict memo),
+      ``machine_thunk`` (NbE closure sharing), ``transform_cache``
+      (the Figure-10 transformer's subterm cache), ``eta_expand``
+      (the transformer's fused binder eta pass), ``globals``
+      (memoized :func:`~repro.kernel.term.collect_globals`);
     * one :class:`EventCounter` per machine event, created on demand:
       ``machine_steps``, ``machine_closures``, ``machine_readbacks``,
       ``machine_delta_avoided`` (see :mod:`repro.kernel.machine`).

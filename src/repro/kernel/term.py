@@ -797,13 +797,17 @@ def free_rels(term: Term, cutoff: int = 0) -> frozenset:
     """
     if max_free_rel(term) <= cutoff:
         return frozenset()
+    # Identity keys (the value pins the term): the result is a set of
+    # indices, so structural keys would be name-safe too, but id keys
+    # skip hashing freshly built trees — a real cost on the transformer
+    # hot path, where most probed terms were just constructed.
     key = None
     if _memo_enabled:
-        key = (term, cutoff)
+        key = (id(term), cutoff)
         cached = _FREE_MEMO.get(key)
         if cached is not None:
             _FREE_COUNTER.hits += 1
-            return cached
+            return cached[1]
         _FREE_COUNTER.misses += 1
     out: set = set()
     stack = [(term, cutoff)]
@@ -835,7 +839,7 @@ def free_rels(term: Term, cutoff: int = 0) -> frozenset:
     if key is not None:
         if len(_FREE_MEMO) >= _MEMO_MAX:
             _FREE_MEMO.clear()
-        _FREE_MEMO[key] = result
+        _FREE_MEMO[key] = (term, result)
     return result
 
 
@@ -939,12 +943,22 @@ def count_nodes(term: Term) -> int:
     return total
 
 
+_GLOBALS_MEMO: Dict[int, tuple] = register_term_cache({})
+_GLOBALS_COUNTER = KERNEL_STATS.counter("globals")
+
+
 def mentions_global(term: Term, name: str) -> bool:
     """Return True when ``term`` refers to the global ``name``.
 
     Checks constants, inductive references, constructors, and eliminators.
-    Used by repair to verify that the old type was fully removed.
+    Used by repair to verify that the old type was fully removed.  With
+    the memo layers on, this is a set-membership test against the
+    memoized :func:`collect_globals` — repair probes the same bodies for
+    every old global and again per dependency scan, so one walk serves
+    them all.
     """
+    if _memo_enabled:
+        return name in collect_globals(term)
     stack = [term]
     while stack:
         t = stack.pop()
@@ -956,15 +970,83 @@ def mentions_global(term: Term, name: str) -> bool:
     return False
 
 
+_EMPTY_GLOBALS = frozenset()
+_NAME_GLOBALS: Dict[str, frozenset] = {}
+
+
 def collect_globals(term: Term) -> frozenset:
-    """Return the set of global names referenced by ``term``."""
-    out: set = set()
-    stack = [term]
+    """Return the set of global names referenced by ``term``.
+
+    Memoized per node identity for *every* node of the walk, bottom-up
+    (values pin the nodes, like the other id-keyed term caches), so a
+    query for any subterm afterwards is a dict hit — the transformer's
+    trigger-global skip probes every node of a term, which would be
+    quadratic with a root-only memo.  Child sets are reused rather than
+    re-unioned whenever a node adds no name of its own, so deep terms
+    over few globals share one frozenset.
+    """
+    if not _memo_enabled:
+        out: set = set()
+        walk = [term]
+        while walk:
+            t = walk.pop()
+            if isinstance(t, (Const, Ind)):
+                out.add(t.name)
+            elif isinstance(t, (Constr, Elim)):
+                out.add(t.ind)
+            walk.extend(t.subterms())
+        return frozenset(out)
+    memo = _GLOBALS_MEMO
+    entry = memo.get(id(term))
+    if entry is not None:
+        _GLOBALS_COUNTER.hits += 1
+        return entry[1]
+    _GLOBALS_COUNTER.misses += 1
+    if len(memo) >= _MEMO_MAX:
+        memo.clear()
+    stack = [(term, False)]
     while stack:
-        t = stack.pop()
+        t, ready = stack.pop()
+        if not ready:
+            if id(t) in memo:
+                continue
+            stack.append((t, True))
+            for sub in t.subterms():
+                if id(sub) not in memo:
+                    stack.append((sub, False))
+            continue
+        own = None
         if isinstance(t, (Const, Ind)):
-            out.add(t.name)
+            own = t.name
         elif isinstance(t, (Constr, Elim)):
-            out.add(t.ind)
-        stack.extend(t.subterms())
-    return frozenset(out)
+            own = t.ind
+        result = _EMPTY_GLOBALS
+        fresh = False
+        for sub in t.subterms():
+            child = memo[id(sub)][1]
+            if not child:
+                continue
+            if not result:
+                result = child
+            elif child is not result and not (child <= result):
+                if not fresh:
+                    result = set(result)
+                    fresh = True
+                result |= child
+        if own is not None and own not in result:
+            if fresh:
+                result.add(own)
+            else:
+                single = _NAME_GLOBALS.get(own)
+                if single is None:
+                    single = _NAME_GLOBALS[own] = frozenset((own,))
+                if result:
+                    result = set(result)
+                    result.add(own)
+                    fresh = True
+                else:
+                    result = single
+        if fresh:
+            result = frozenset(result)
+        memo[id(t)] = (t, result)
+    return memo[id(term)][1]

@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 from .context import Context
 from .convert import conv, sub
 from .env import ABSENT, Environment
+from .fastpath import transform_fast_enabled
 from .inductive import case_type
 from .reduce import whnf
 from .stats import KERNEL_STATS
@@ -43,6 +44,7 @@ from .term import (
     lift,
     mk_app,
     subst,
+    subst_many,
     unfold_app,
 )
 
@@ -69,11 +71,7 @@ def infer(env: Environment, ctx: Context, term: Term) -> Term:
     cache = env.reduction_cache
     key = None
     if cache.enabled and not isinstance(term, (Rel, Sort, Const)):
-        key = (
-            _INFER_TAG,
-            id(term),
-            tuple(id(ty) for _name, ty in ctx.entries),
-        )
+        key = (_INFER_TAG, id(term), ctx.type_ids())
         hit = cache.get(key, _INFER_COUNTER)
         if hit is not ABSENT:
             return hit[-1]
@@ -121,6 +119,8 @@ def _infer(env: Environment, ctx: Context, term: Term) -> Term:
         return Pi(term.name, term.domain, body_ty)
 
     if isinstance(term, App):
+        if transform_fast_enabled():
+            return _infer_spine(env, ctx, term)
         fn_ty = infer(env, ctx, term.fn)
         if not isinstance(fn_ty, Pi):
             # Inferred function types are almost always Pi already;
@@ -140,29 +140,166 @@ def _infer(env: Environment, ctx: Context, term: Term) -> Term:
     raise TypeError_(f"cannot infer type of {term!r}")
 
 
+def _infer_spine(env: Environment, ctx: Context, term: App) -> Term:
+    """Infer an application spine iteratively (the fast-path App rule).
+
+    One loop handles the whole spine instead of one ``infer``/``_infer``
+    frame pair per ``App`` node.  The memo behaviour is the recursive
+    path's exactly: each prefix is probed on the way down (stopping at
+    the innermost hit), and every uncached prefix is stored on the way
+    back up, so later spines sharing a prefix still hit.
+    """
+    cache = env.reduction_cache
+    caching = cache.enabled
+    ids = ctx.type_ids() if caching else None
+    spine = [term]
+    t = term.fn
+    fn_ty = None
+    while isinstance(t, App):
+        if caching:
+            hit = cache.get((_INFER_TAG, id(t), ids), _INFER_COUNTER)
+            if hit is not ABSENT:
+                fn_ty = hit[-1]
+                break
+        spine.append(t)
+        t = t.fn
+    if fn_ty is None:
+        fn_ty = infer(env, ctx, t)
+    # Substitutions into the function type are *delayed*: while the type
+    # is a syntactic Pi tower, only each (usually small, often closed)
+    # domain is instantiated with the pending arguments, and the whole
+    # tower is materialized once — with a single parallel substitution —
+    # when a non-Pi codomain or the end of the spine forces it.  Parallel
+    # substitution of a spine equals the sequential per-step fold (each
+    # argument lives outside every crossed binder), so the result is
+    # byte-identical to substituting at every step; what is saved is
+    # rebuilding the remaining tower once per argument.
+    ty = fn_ty
+    pending: list = []
+    for node in reversed(spine):
+        if not isinstance(ty, Pi):
+            if pending:
+                ty = _head_beta(subst_many(ty, tuple(reversed(pending))))
+                pending = []
+            if not isinstance(ty, Pi):
+                # Inferred function types are almost always Pi already;
+                # dispatching to the reduction engine only pays off when
+                # there is an actual redex or constant to unfold.
+                ty = whnf(env, ty)
+            if not isinstance(ty, Pi):
+                raise TypeError_(
+                    f"application of a non-function: head has type {ty!r}"
+                )
+        dom = ty.domain
+        if pending:
+            dom = subst_many(dom, tuple(reversed(pending)))
+        check(env, ctx, node.arg, dom)
+        pending.append(node.arg)
+        ty = ty.codomain
+    if pending:
+        ty = _head_beta(subst_many(ty, tuple(reversed(pending))))
+    return ty
+
+
 def _head_beta(term: Term) -> Term:
-    """Contract leading beta redexes (cosmetic cleanup of inferred types)."""
+    """Contract leading beta redexes (cosmetic cleanup of inferred types).
+
+    On the fast path a whole ``Lam``-spine is contracted with one
+    parallel :func:`subst_many` instead of one :func:`subst` per binder;
+    parallel substitution of a beta spine equals the sequential fold
+    (each argument is interpreted outside all the contracted binders),
+    so the result is byte-identical either way.
+    """
     while True:
         head, args = unfold_app(term)
         if not (isinstance(head, Lam) and args):
             return term
+        if transform_fast_enabled():
+            body = head
+            n = 0
+            while isinstance(body, Lam) and n < len(args):
+                body = body.body
+                n += 1
+            if n > 1:
+                term = mk_app(
+                    subst_many(body, tuple(reversed(args[:n]))), args[n:]
+                )
+                continue
         term = mk_app(subst(head.body, args[0]), args[1:])
 
 
+_CHECK_COUNTER = KERNEL_STATS.counter("check")
+_CHECK_TAG = "check"
+
+
 def check(env: Environment, ctx: Context, term: Term, expected: Term) -> None:
-    """Check ``term`` against ``expected`` (up to cumulativity)."""
+    """Check ``term`` against ``expected`` (up to cumulativity).
+
+    The default path is bidirectional: a ``Lam`` checked against a
+    ``Pi`` whose domain is convertible descends straight into the body
+    against the codomain, instead of synthesizing the whole spine's type
+    and comparing after the fact — the Figure-10 rule outputs and
+    repaired definitions the transformer produces are all checked
+    against expected (configuration-derived) types, so this skips
+    re-deriving what the caller already knows.  Successful verdicts are
+    memoized in the environment's reduction cache (identity keys with
+    the referents pinned in the value, like ``infer``); checking is
+    stable under additive environment extension, and the cache is
+    cleared on any non-additive change.  Failures are not cached and
+    fall back to the synthesizing path, preserving its error reporting.
+    ``REPRO_DISABLE_TRANSFORM_FAST=1`` restores the original
+    infer-then-subsume behaviour.
+    """
+    if not transform_fast_enabled():
+        actual = infer(env, ctx, term)
+        if actual is expected:
+            return
+        if not sub(env, actual, expected):
+            _raise_mismatch(env, ctx, term, actual, expected)
+        return
+    cache = env.reduction_cache
+    key = None
+    if cache.enabled:
+        key = (_CHECK_TAG, id(term), id(expected), ctx.type_ids())
+        hit = cache.get(key, _CHECK_COUNTER)
+        if hit is not ABSENT:
+            return
+    _check_bidirectional(env, ctx, term, expected)
+    if key is not None:
+        cache.put(key, (term, expected, ctx.entries, True))
+
+
+def _check_bidirectional(
+    env: Environment, ctx: Context, term: Term, expected: Term
+) -> None:
+    while isinstance(term, Lam):
+        exp = expected if isinstance(expected, Pi) else whnf(env, expected)
+        if not (isinstance(exp, Pi) and conv(env, term.domain, exp.domain)):
+            # Structure (or domain) disagrees: synthesize and subsume so
+            # the error message matches the standard path.
+            break
+        infer_sort(env, ctx, term.domain)
+        ctx = ctx.push(term.name, term.domain)
+        term = term.body
+        expected = exp.codomain
     actual = infer(env, ctx, term)
     if actual is expected:
         return
     if not sub(env, actual, expected):
-        from .pretty import pretty
+        _raise_mismatch(env, ctx, term, actual, expected)
 
-        raise TypeError_(
-            "type mismatch:\n"
-            f"  term:     {pretty(term, ctx=ctx)}\n"
-            f"  has type: {pretty(actual, ctx=ctx)}\n"
-            f"  expected: {pretty(expected, ctx=ctx)}"
-        )
+
+def _raise_mismatch(
+    env: Environment, ctx: Context, term: Term, actual: Term, expected: Term
+) -> None:
+    from .pretty import pretty
+
+    raise TypeError_(
+        "type mismatch:\n"
+        f"  term:     {pretty(term, ctx=ctx)}\n"
+        f"  has type: {pretty(actual, ctx=ctx)}\n"
+        f"  expected: {pretty(expected, ctx=ctx)}"
+    )
 
 
 def infer_sort(env: Environment, ctx: Context, term: Term) -> Sort:

@@ -13,9 +13,9 @@ reduction and transformation costs track.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
-from ..kernel.term import App, Elim, Lam, Pi, Term
+from ..kernel.term import App, Elim, Lam, Pi, Term, register_term_cache
 
 
 def _children(term: Term) -> Tuple[Term, ...]:
@@ -30,28 +30,48 @@ def _children(term: Term) -> Tuple[Term, ...]:
     return ()
 
 
+# Tree size and depth compose bottom-up, so both are memoized per node
+# identity (the value pins the node, like the kernel's term caches):
+# on the hash-consed arena a shared subterm is measured once, where the
+# naive walk re-counts every path — exponential blowup on DAG-shaped
+# terms, and a real cost when gauges run inside traced hot spans.
+_SIZE_MEMO: Dict[int, tuple] = register_term_cache({})
+_DEPTH_MEMO: Dict[int, tuple] = register_term_cache({})
+_MEMO_MAX = 1 << 20
+
+
+def _measure(term: Term, memo: Dict[int, tuple], combine) -> int:
+    entry = memo.get(id(term))
+    if entry is not None:
+        return entry[1]
+    if len(memo) >= _MEMO_MAX:
+        memo.clear()
+    stack: List[Tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if not ready:
+            if id(node) in memo:
+                continue
+            stack.append((node, True))
+            for child in _children(node):
+                if id(child) not in memo:
+                    stack.append((child, False))
+            continue
+        memo[id(node)] = (
+            node,
+            combine([memo[id(c)][1] for c in _children(node)]),
+        )
+    return memo[id(term)][1]
+
+
 def term_size(term: Term) -> int:
     """Number of nodes in the term, viewed as a tree."""
-    size = 0
-    stack: List[Term] = [term]
-    while stack:
-        node = stack.pop()
-        size += 1
-        stack.extend(_children(node))
-    return size
+    return _measure(term, _SIZE_MEMO, lambda sizes: 1 + sum(sizes))
 
 
 def term_depth(term: Term) -> int:
     """Longest path from the root to a leaf, viewed as a tree."""
-    deepest = 0
-    stack: List[Tuple[Term, int]] = [(term, 1)]
-    while stack:
-        node, depth = stack.pop()
-        if depth > deepest:
-            deepest = depth
-        for child in _children(node):
-            stack.append((child, depth + 1))
-    return deepest
+    return _measure(term, _DEPTH_MEMO, lambda depths: 1 + max(depths, default=0))
 
 
 def binder_depth(term: Term) -> int:

@@ -1,0 +1,81 @@
+"""The bench regression gate's transform-phase floor.
+
+``check_regression.compare`` applies a tighter absolute wall-time floor
+to ``*/transform`` phases than to everything else: the transformer hot
+path is a few milliseconds per case by design, so the general
+``--min-seconds`` noise floor (sized for whole-case walls) would hide
+any realistic regression in it.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "benchmarks")
+)
+
+from check_regression import _is_transform_phase, compare  # noqa: E402
+
+
+def _report(phases):
+    return {"phases": phases}
+
+
+def _entry(wall, rates=None):
+    entry = {"wall_time_s": wall}
+    if rates is not None:
+        entry["cache_hit_rates"] = rates
+    return entry
+
+
+def test_transform_phase_detection():
+    assert _is_transform_phase("replica/transform")
+    assert _is_transform_phase("transform_fast_off/replica/transform")
+    assert _is_transform_phase("transform")  # no case prefix: still it
+    assert not _is_transform_phase("replica/typecheck")
+    assert not _is_transform_phase("replica/transform_cache")
+
+
+def test_transform_slowdown_trips_the_tighter_floor():
+    baseline = _report({"replica/transform": _entry(0.006)})
+    current = _report({"replica/transform": _entry(0.016)})
+    regressions = compare(
+        current,
+        baseline,
+        tolerance=0.25,
+        hit_rate_drop=0.10,
+        min_seconds=0.05,
+        transform_min_seconds=0.005,
+    )
+    assert len(regressions) == 1
+    assert "replica/transform" in regressions[0]
+
+
+def test_same_slowdown_on_other_phases_stays_under_general_floor():
+    # Identical absolute slowdown on a non-transform phase: swallowed by
+    # the general --min-seconds floor, exactly as before.
+    baseline = _report({"replica/typecheck": _entry(0.006)})
+    current = _report({"replica/typecheck": _entry(0.016)})
+    regressions = compare(
+        current,
+        baseline,
+        tolerance=0.25,
+        hit_rate_drop=0.10,
+        min_seconds=0.05,
+        transform_min_seconds=0.005,
+    )
+    assert regressions == []
+
+
+def test_transform_within_tolerance_passes():
+    baseline = _report({"replica/transform": _entry(0.0068)})
+    current = _report({"replica/transform": _entry(0.008)})
+    regressions = compare(
+        current,
+        baseline,
+        tolerance=0.25,
+        hit_rate_drop=0.10,
+        min_seconds=0.05,
+        transform_min_seconds=0.005,
+    )
+    assert regressions == []
