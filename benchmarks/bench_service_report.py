@@ -11,8 +11,18 @@ Phases (shared schema, :mod:`report_schema`)::
 
     cold/jobs1, cold/jobs2, cold/jobs4   # fresh store, subprocess workers
     warm/jobs1                           # same store as cold/jobs1 => cached
+    cold_start/scratch                   # storeless batch, scratch boots
+    cold_start/snapshot                  # same batch, snapshot-pack boots
 
 plus a ``scaling`` extra with the ``jobsN / jobs1`` wall-time ratios.
+The ``cold_start`` pair measures worker environment boots in isolation:
+both run the identical eight-job batch through subprocess workers with
+no result store, differing only in whether a snapshot pack (see
+:mod:`repro.kernel.snapshot`) is on offer.  The snapshot run fails hard
+unless every job actually booted from the pack *and* produced the same
+``result_digest`` as its scratch twin — the bench is also the
+byte-identity gate — and unless the snapshot batch beat the scratch one
+(``--max-snapshot-ratio``, default 1.0: at minimum, never slower).
 The run fails when ``cold/jobs4`` is not at least ``--max-ratio`` (default
 0.8) of ``cold/jobs1`` — parallel dispatch must actually buy wall time —
 or when a single service job's repair output is not byte-identical to the
@@ -78,6 +88,52 @@ def _phase(report: Any, width: int) -> Dict[str, Any]:
         "jobs": width,
         "workers": min(width, len(report.outcomes)),
         "cache_hit_rates": {"store": round(report.cache_hit_rate, 4)},
+    }
+
+
+def _run_cold_start(jobs: List[Any], tmp: str) -> Dict[str, Dict[str, Any]]:
+    """The ``cold_start/*`` phases: scratch vs snapshot worker boots."""
+    from repro.service.job import result_digest
+    from repro.service.warmup import ensure_batch_snapshot
+
+    snap = f"{tmp}/six_cases.snap"
+    ensure_batch_snapshot(jobs, snap)
+    runs: Dict[str, Any] = {}
+    for mode, snapshot in (("scratch", None), ("snapshot", snap)):
+        report = run_batch(
+            jobs,
+            BatchOptions(
+                jobs=1, timeout_s=600, backoff_s=0.0, snapshot=snapshot
+            ),
+            runner=subprocess_runner(snapshot=snapshot),
+            batch=f"six-cases/cold_start-{mode}",
+        )
+        bad = [o for o in report.outcomes if not o.ok]
+        if bad:
+            raise RuntimeError(
+                "cold_start/%s batch failed: %s"
+                % (mode, ", ".join(f"{o.job.name}={o.status}" for o in bad))
+            )
+        runs[mode] = report
+    boots = {
+        o.job.name: o.result.get("env_boot")
+        for o in runs["snapshot"].outcomes
+    }
+    not_warm = sorted(n for n, b in boots.items() if b != "snapshot")
+    if not_warm:
+        raise RuntimeError(
+            "cold_start/snapshot jobs booted from scratch despite the "
+            "pack: " + ", ".join(not_warm)
+        )
+    for cold, hot in zip(runs["scratch"].outcomes, runs["snapshot"].outcomes):
+        if result_digest(cold.result) != result_digest(hot.result):
+            raise RuntimeError(
+                f"snapshot boot changed the repair output of "
+                f"{cold.job.name} — scratch and snapshot digests differ"
+            )
+    return {
+        f"cold_start/{mode}": _phase(report, 1)
+        for mode, report in runs.items()
     }
 
 
@@ -148,6 +204,7 @@ def build_report() -> Tuple[dict, dict]:
             )
         entry = _phase(warm, 1)
         phases["warm/jobs1"] = entry
+        phases.update(_run_cold_start(jobs, tmp))
     scaling = {
         f"jobs{width}_vs_jobs1": round(walls[width] / max(walls[1], 1e-9), 4)
         for width in WIDTHS
@@ -155,6 +212,11 @@ def build_report() -> Tuple[dict, dict]:
     }
     scaling["warm_vs_cold_jobs1"] = round(
         phases["warm/jobs1"]["wall_time_s"] / max(walls[1], 1e-9), 4
+    )
+    scaling["snapshot_vs_scratch"] = round(
+        phases["cold_start/snapshot"]["wall_time_s"]
+        / max(phases["cold_start/scratch"]["wall_time_s"], 1e-9),
+        4,
     )
     report = make_report(
         "service",
@@ -188,6 +250,14 @@ def main(argv) -> int:
         help="fail when cold/jobs4 exceeds this fraction of cold/jobs1 "
         "(0 disables the check; default: 0.8)",
     )
+    parser.add_argument(
+        "--max-snapshot-ratio",
+        type=float,
+        default=1.0,
+        help="fail when cold_start/snapshot exceeds this fraction of "
+        "cold_start/scratch (0 disables the check; default: 1.0 — a "
+        "snapshot boot must never lose to a scratch boot)",
+    )
     args = parser.parse_args(argv[1:])
 
     try:
@@ -214,6 +284,15 @@ def main(argv) -> int:
         print(
             f"bench_service_report: cold/jobs4 is {ratio}x of cold/jobs1 "
             f"(limit {args.max_ratio}) — the pool is not scaling",
+            file=sys.stderr,
+        )
+        return 1
+    snap_ratio = scaling["snapshot_vs_scratch"]
+    if args.max_snapshot_ratio and snap_ratio > args.max_snapshot_ratio:
+        print(
+            f"bench_service_report: cold_start/snapshot is {snap_ratio}x "
+            f"of cold_start/scratch (limit {args.max_snapshot_ratio}) — "
+            "snapshot boots are not paying for themselves",
             file=sys.stderr,
         )
         return 1

@@ -15,12 +15,17 @@ phase and exits non-zero when the fresh run regressed:
   this catches cache-layer regressions even across different runners);
 * **missing phases** — fail when a phase present in the baseline
   disappeared (an instrumentation or pipeline regression).  New phases
-  only warn.
+  only warn;
+* **required phases** — ``--require-phase NAME`` (repeatable) fails
+  when the *current* report lacks ``NAME`` even if the baseline never
+  carried it, so a brand-new phase family (e.g. ``cold_start/snapshot``)
+  is pinned into existence the moment its gate lands in CI.
 
 Usage::
 
     python benchmarks/check_regression.py CURRENT.json BASELINE.json \
-        [--tolerance 0.25] [--hit-rate-drop 0.10] [--min-seconds 0.05]
+        [--tolerance 0.25] [--hit-rate-drop 0.10] [--min-seconds 0.05] \
+        [--require-phase cold_start/snapshot]
 """
 
 from __future__ import annotations
@@ -91,6 +96,12 @@ def compare(
     return regressions
 
 
+def missing_required(current: dict, required: List[str]) -> List[str]:
+    """Required phases absent from ``current`` (order preserved)."""
+    phases = current["phases"]
+    return [name for name in required if name not in phases]
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly generated report")
@@ -123,6 +134,16 @@ def main(argv) -> int:
             "transformer hot path is guarded)"
         ),
     )
+    parser.add_argument(
+        "--require-phase",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help=(
+            "fail when the current report lacks this phase, even if the "
+            "baseline never carried it (repeatable)"
+        ),
+    )
     args = parser.parse_args(argv[1:])
 
     try:
@@ -141,7 +162,11 @@ def main(argv) -> int:
             + ", ".join(new_phases)
         )
 
-    regressions = compare(
+    regressions = [
+        f"{name}: required phase missing from current report"
+        for name in missing_required(current, args.require_phase)
+    ]
+    regressions += compare(
         current,
         baseline,
         tolerance=args.tolerance,

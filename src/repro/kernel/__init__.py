@@ -65,6 +65,10 @@ from .term import (
     unfold_lams,
     unfold_pis,
 )
+# NOTE: .snapshot is deliberately NOT imported here — it is runnable as
+# ``python -m repro.kernel.snapshot`` and importing it at package load
+# would make runpy warn about the module already being in sys.modules.
+from .codec import SnapshotError, decode_term, encode_term
 from .env import ReductionCache, set_reduction_cache_default
 from .stats import KERNEL_STATS, CacheCounter, EventCounter, KernelStats
 from .typecheck import TypeError_, check, infer, infer_sort, typecheck_closed
@@ -87,6 +91,7 @@ __all__ = [
     "Pi",
     "Rel",
     "SET",
+    "SnapshotError",
     "Sort",
     "TYPE1",
     "Term",
@@ -109,6 +114,8 @@ __all__ = [
     "constructor_args_and_indices",
     "conv",
     "count_nodes",
+    "decode_term",
+    "encode_term",
     "free_rels",
     "hash_consing_enabled",
     "infer",

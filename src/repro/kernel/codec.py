@@ -1,0 +1,491 @@
+"""Binary codec for arena terms: the hash-consed DAG, serialized directly.
+
+The term arena (see :mod:`repro.kernel.term`) already stores every term
+as a maximally shared DAG — structurally identical subterms built with
+the same display names are one node.  This codec writes that DAG as-is
+instead of flattening it to a tree: a topologically ordered **node
+table** in which every node appears exactly once and child fields are
+back-references (indices of earlier entries), so a subterm shared by a
+thousand definitions costs one record plus a thousand varints.  Decoding
+rebuilds each node through the ordinary term constructors, which consult
+the intern table — so in a warm process the decoded node *is* the
+original arena node, and in a fresh process interning is reconstructed
+as a side effect of the decode walk rather than re-derived by hashing
+whole trees.
+
+Layout (all integers are unsigned LEB128 varints unless noted)::
+
+    header   := MAGIC(4) version(varint) kind(1)
+    payload  := string_table node_table ...     # kind-specific tail
+    string_table := count (len utf8_bytes)*
+    node_table   := count node*
+    node     := tag(1) fields...
+
+Node records (``s#`` = string-table index, ``n#`` = node-table
+back-reference, ``z`` = zigzag varint)::
+
+    REL    idx            SORT   level:z       CONST  name:s#
+    IND    name:s#        CONSTR ind:s# idx
+    PI     name:s# domain:n# codomain:n#
+    LAM    name:s# domain:n# body:n#
+    APP    fn:n# arg:n#
+    ELIM   ind:s# motive:n# ncases case:n#* scrut:n#
+
+Error contract: every malformed input — truncated streams, flipped
+bytes, dangling (forward or out-of-range) node references, oversized
+length prefixes, unknown tags, trailing garbage, unsupported format
+versions — raises :class:`SnapshotError` with a message naming the
+offset or field.  No input may surface a raw ``struct``/``KeyError``/
+``IndexError`` from the guts of the decoder; corrupt data is *refused*,
+never half-loaded.
+
+The codec is deliberately Python-version-independent: no pickling, no
+marshalling, no hashing — only varints and UTF-8 — so a snapshot
+written by one interpreter loads on any other (pinned by the committed
+golden fixture in ``tests/fixtures/``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .term import (
+    App,
+    Const,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    Sort,
+    Term,
+    TermError,
+)
+
+#: File magic shared by every payload kind.
+MAGIC = b"RPRO"
+
+#: Current (and only) format version.  Readers refuse anything else.
+FORMAT_VERSION = 1
+
+#: Payload kinds following the header.
+KIND_TERM = 1
+KIND_SNAPSHOT = 2
+
+
+class SnapshotError(TermError):
+    """A snapshot or codec input was malformed, truncated, or unsupported.
+
+    The shared error contract of :mod:`repro.kernel.codec` and
+    :mod:`repro.kernel.snapshot`: loading bad bytes *refuses* with this
+    error instead of crashing with a deep ``KeyError``/``IndexError``.
+    """
+
+
+# -- Node tags ---------------------------------------------------------------
+
+_TAG_REL = 1
+_TAG_SORT = 2
+_TAG_CONST = 3
+_TAG_IND = 4
+_TAG_CONSTR = 5
+_TAG_PI = 6
+_TAG_LAM = 7
+_TAG_APP = 8
+_TAG_ELIM = 9
+
+
+# -- Primitive writers --------------------------------------------------------
+
+
+class Writer:
+    """An append-only byte buffer with varint/string helpers."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, value: int) -> None:
+        self.buf.append(value & 0xFF)
+
+    def uvarint(self, value: int) -> None:
+        """Unsigned LEB128."""
+        if value < 0:
+            raise SnapshotError(f"cannot encode negative varint {value}")
+        buf = self.buf
+        while value >= 0x80:
+            buf.append((value & 0x7F) | 0x80)
+            value >>= 7
+        buf.append(value)
+
+    def svarint(self, value: int) -> None:
+        """Signed zigzag varint (sort levels can be -1)."""
+        self.uvarint((value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+    def raw(self, data: bytes) -> None:
+        self.buf.extend(data)
+
+    def tobytes(self) -> bytes:
+        return bytes(self.buf)
+
+
+#: Ceiling on element counts and string lengths: a length prefix larger
+#: than any input we could possibly hold is corruption, not data.
+_COUNT_MAX = 1 << 31
+
+
+class Reader:
+    """A bounds-checked cursor over immutable bytes.
+
+    Every read validates against the remaining length and raises
+    :class:`SnapshotError` — the decoder's whole refuse-don't-crash
+    contract lives here.
+    """
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def fail(self, what: str) -> "SnapshotError":
+        return SnapshotError(f"{what} (at byte {self.pos} of {len(self.data)})")
+
+    def u8(self, what: str = "byte") -> int:
+        if self.pos >= len(self.data):
+            raise self.fail(f"truncated input: expected {what}")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def uvarint(self, what: str = "varint") -> int:
+        value = 0
+        shift = 0
+        while True:
+            byte = self.u8(what)
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise self.fail(f"oversized varint for {what}")
+
+    def svarint(self, what: str = "varint") -> int:
+        raw = self.uvarint(what)
+        return (raw >> 1) ^ -(raw & 1)
+
+    def count(self, what: str) -> int:
+        """A varint element count, sanity-capped against the remaining
+        bytes (every element costs at least one byte, so a count beyond
+        ``remaining`` is an oversized length prefix, not data)."""
+        value = self.uvarint(what)
+        if value > _COUNT_MAX or value > self.remaining:
+            raise self.fail(
+                f"oversized length prefix for {what}: {value} with "
+                f"{self.remaining} byte(s) left"
+            )
+        return value
+
+    def raw(self, length: int, what: str) -> bytes:
+        if length > self.remaining:
+            raise self.fail(
+                f"truncated input: {what} needs {length} byte(s), "
+                f"{self.remaining} left"
+            )
+        out = self.data[self.pos : self.pos + length]
+        self.pos += length
+        return out
+
+    def string(self, what: str = "string") -> str:
+        length = self.count(f"{what} length")
+        data = self.raw(length, what)
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise self.fail(f"invalid UTF-8 in {what}: {exc}") from None
+
+
+def write_header(writer: Writer, kind: int) -> None:
+    writer.raw(MAGIC)
+    writer.uvarint(FORMAT_VERSION)
+    writer.u8(kind)
+
+
+def read_header(reader: Reader, expected_kind: int) -> None:
+    """Validate magic, version, and payload kind; raise otherwise."""
+    magic = reader.raw(len(MAGIC), "magic")
+    if magic != MAGIC:
+        raise SnapshotError(
+            f"not a repro snapshot/codec stream (magic {magic!r}, "
+            f"expected {MAGIC!r})"
+        )
+    version = reader.uvarint("format version")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    kind = reader.u8("payload kind")
+    if kind != expected_kind:
+        raise SnapshotError(
+            f"unexpected payload kind {kind} (expected {expected_kind})"
+        )
+
+
+# -- String and node tables ---------------------------------------------------
+
+
+class TermEncoder:
+    """Accumulates a shared string table and a topologically ordered
+    node table; every distinct arena node is written exactly once.
+
+    ``add`` returns the node-table index for a term, interning its whole
+    DAG (children first, so every child reference in the emitted table
+    points backwards).  One encoder may serve many roots — a snapshot
+    runs every declaration of every environment through the same encoder
+    so the stdlib's terms are shared across entries on disk exactly as
+    they are shared in the arena.
+    """
+
+    def __init__(self) -> None:
+        self._strings: Dict[str, int] = {}
+        self._string_list: List[str] = []
+        self._nodes: Dict[int, int] = {}  # id(term) -> node index
+        self._pins: List[Term] = []  # keeps ids valid while encoding
+        self._table = Writer()
+        self._count = 0
+
+    @property
+    def node_count(self) -> int:
+        return self._count
+
+    def string(self, value: str) -> int:
+        index = self._strings.get(value)
+        if index is None:
+            index = self._strings[value] = len(self._string_list)
+            self._string_list.append(value)
+        return index
+
+    def add(self, term: Term) -> int:
+        """Intern ``term``'s DAG into the node table; return its index."""
+        nodes = self._nodes
+        cached = nodes.get(id(term))
+        if cached is not None:
+            return cached
+        # Iterative post-order: children are emitted (and indexed)
+        # before their parents, giving the topological order the decoder
+        # relies on for its backwards-only reference check.
+        stack: List[Term] = [term]
+        while stack:
+            t = stack[-1]
+            if id(t) in nodes:
+                stack.pop()
+                continue
+            pending = [c for c in t.subterms() if id(c) not in nodes]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            self._emit(t)
+        return nodes[id(term)]
+
+    def _emit(self, t: Term) -> None:
+        w = self._table
+        nodes = self._nodes
+        if isinstance(t, Rel):
+            w.u8(_TAG_REL)
+            w.uvarint(t.index)
+        elif isinstance(t, Sort):
+            w.u8(_TAG_SORT)
+            w.svarint(t.level)
+        elif isinstance(t, Const):
+            w.u8(_TAG_CONST)
+            w.uvarint(self.string(t.name))
+        elif isinstance(t, Ind):
+            w.u8(_TAG_IND)
+            w.uvarint(self.string(t.name))
+        elif isinstance(t, Constr):
+            w.u8(_TAG_CONSTR)
+            w.uvarint(self.string(t.ind))
+            w.uvarint(t.index)
+        elif isinstance(t, Pi):
+            w.u8(_TAG_PI)
+            w.uvarint(self.string(t.name))
+            w.uvarint(nodes[id(t.domain)])
+            w.uvarint(nodes[id(t.codomain)])
+        elif isinstance(t, Lam):
+            w.u8(_TAG_LAM)
+            w.uvarint(self.string(t.name))
+            w.uvarint(nodes[id(t.domain)])
+            w.uvarint(nodes[id(t.body)])
+        elif isinstance(t, App):
+            w.u8(_TAG_APP)
+            w.uvarint(nodes[id(t.fn)])
+            w.uvarint(nodes[id(t.arg)])
+        elif isinstance(t, Elim):
+            w.u8(_TAG_ELIM)
+            w.uvarint(self.string(t.ind))
+            w.uvarint(nodes[id(t.motive)])
+            w.uvarint(len(t.cases))
+            for case in t.cases:
+                w.uvarint(nodes[id(case)])
+            w.uvarint(nodes[id(t.scrut)])
+        else:
+            raise SnapshotError(f"cannot encode term {t!r}")
+        nodes[id(t)] = self._count
+        self._pins.append(t)
+        self._count += 1
+
+    def emit_tables(self, writer: Writer) -> None:
+        """Write the string table then the node table."""
+        writer.uvarint(len(self._string_list))
+        for value in self._string_list:
+            data = value.encode("utf-8")
+            writer.uvarint(len(data))
+            writer.raw(data)
+        writer.uvarint(self._count)
+        writer.raw(bytes(self._table.buf))
+
+
+class TermDecoder:
+    """Parses the string and node tables; hands out terms by index.
+
+    Nodes are rebuilt through the ordinary term constructors, so in a
+    process with hash consing enabled every decoded node lands in (or is
+    unified with) the arena — sharing in the byte stream becomes pointer
+    sharing in memory with no re-hashing of whole trees.
+    """
+
+    def __init__(self, reader: Reader) -> None:
+        string_count = reader.count("string table size")
+        self.strings: List[str] = [
+            reader.string(f"string #{i}") for i in range(string_count)
+        ]
+        node_count = reader.count("node table size")
+        self.terms: List[Term] = []
+        for i in range(node_count):
+            self.terms.append(self._decode_node(reader, i))
+
+    def string(self, reader: Reader, index: int, what: str) -> str:
+        if index >= len(self.strings):
+            raise reader.fail(
+                f"dangling string reference #{index} in {what} "
+                f"(table has {len(self.strings)})"
+            )
+        return self.strings[index]
+
+    def term(self, reader: Reader, index: int, what: str) -> Term:
+        """The decoded term for a node reference (bounds-checked)."""
+        if index >= len(self.terms):
+            raise reader.fail(
+                f"dangling node reference #{index} in {what} "
+                f"(table has {len(self.terms)})"
+            )
+        return self.terms[index]
+
+    def _child(self, reader: Reader, limit: int, what: str) -> Term:
+        index = reader.uvarint(what)
+        if index >= limit:
+            raise reader.fail(
+                f"dangling node reference #{index} in {what} "
+                f"(only {limit} node(s) decoded so far)"
+            )
+        return self.terms[index]
+
+    def _decode_node(self, reader: Reader, i: int) -> Term:
+        tag = reader.u8(f"node #{i} tag")
+        what = f"node #{i}"
+        if tag == _TAG_REL:
+            return Rel(reader.uvarint(what))
+        if tag == _TAG_SORT:
+            return Sort(reader.svarint(what))
+        if tag == _TAG_CONST:
+            return Const(self.string(reader, reader.uvarint(what), what))
+        if tag == _TAG_IND:
+            return Ind(self.string(reader, reader.uvarint(what), what))
+        if tag == _TAG_CONSTR:
+            name = self.string(reader, reader.uvarint(what), what)
+            return Constr(name, reader.uvarint(what))
+        if tag == _TAG_PI:
+            name = self.string(reader, reader.uvarint(what), what)
+            domain = self._child(reader, i, what)
+            codomain = self._child(reader, i, what)
+            return Pi(name, domain, codomain)
+        if tag == _TAG_LAM:
+            name = self.string(reader, reader.uvarint(what), what)
+            domain = self._child(reader, i, what)
+            body = self._child(reader, i, what)
+            return Lam(name, domain, body)
+        if tag == _TAG_APP:
+            fn = self._child(reader, i, what)
+            arg = self._child(reader, i, what)
+            return App(fn, arg)
+        if tag == _TAG_ELIM:
+            name = self.string(reader, reader.uvarint(what), what)
+            motive = self._child(reader, i, what)
+            ncases = reader.count(f"{what} case count")
+            cases = tuple(
+                self._child(reader, i, what) for _ in range(ncases)
+            )
+            scrut = self._child(reader, i, what)
+            return Elim(name, motive, cases, scrut)
+        raise reader.fail(f"unknown node tag {tag} in {what}")
+
+
+# -- Single-term convenience API ----------------------------------------------
+
+
+def encode_term(term: Term) -> bytes:
+    """Serialize one term (with its full shared DAG) to bytes."""
+    return encode_terms([term])
+
+
+def encode_terms(terms: Iterable[Term]) -> bytes:
+    """Serialize several terms into one stream sharing their tables."""
+    roots = list(terms)
+    encoder = TermEncoder()
+    indices = [encoder.add(t) for t in roots]
+    writer = Writer()
+    write_header(writer, KIND_TERM)
+    encoder.emit_tables(writer)
+    writer.uvarint(len(indices))
+    for index in indices:
+        writer.uvarint(index)
+    return writer.tobytes()
+
+
+def decode_term(data: bytes) -> Term:
+    """Decode a single-term stream produced by :func:`encode_term`."""
+    roots = decode_terms(data)
+    if len(roots) != 1:
+        raise SnapshotError(
+            f"expected a single-root term stream, found {len(roots)} roots"
+        )
+    return roots[0]
+
+
+def decode_terms(data: bytes) -> Tuple[Term, ...]:
+    """Decode every root of a stream produced by :func:`encode_terms`."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SnapshotError(
+            f"codec input must be bytes, not {type(data).__name__}"
+        )
+    reader = Reader(bytes(data))
+    read_header(reader, KIND_TERM)
+    decoder = TermDecoder(reader)
+    count = reader.count("root count")
+    roots = tuple(
+        decoder.term(reader, reader.uvarint("root index"), "root list")
+        for _ in range(count)
+    )
+    if reader.remaining:
+        raise reader.fail(
+            f"trailing garbage: {reader.remaining} byte(s) after the payload"
+        )
+    return roots

@@ -76,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget for crashed workers (default: 2)",
     )
     parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help=(
+            "boot workers from this snapshot pack (see python -m "
+            "repro.kernel.snapshot); built once per batch when missing "
+            "or stale"
+        ),
+    )
+    parser.add_argument(
         "--fault-plan",
         default=None,
         metavar="JSON",
@@ -109,6 +119,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     store = None if args.no_store else ResultStore(args.store)
+    if args.snapshot:
+        from ..kernel.snapshot import SnapshotError
+        from .warmup import ensure_batch_snapshot
+
+        try:
+            ensure_batch_snapshot(jobs, args.snapshot)
+        except (SnapshotError, JobError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     options = BatchOptions(
         jobs=args.jobs,
         timeout_s=args.timeout,
@@ -116,6 +135,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         refresh=args.refresh,
         store=store,
         fault_plan=fault_plan,
+        snapshot=args.snapshot,
     )
     try:
         report = run_batch(jobs, options, batch=batch)

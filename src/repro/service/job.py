@@ -65,6 +65,38 @@ class JobError(Exception):
     """Raised for malformed job specifications."""
 
 
+#: Result-record fields that legitimately vary between runs of the same
+#: job: timings, cache-counter movements, and which boot path built the
+#: environment.  Everything else — the repaired term, its type, the
+#: replayed definitions, the script, the analysis — must be identical
+#: run to run, which :func:`result_digest` makes checkable.
+VOLATILE_RESULT_KEYS = (
+    "wall_time_s",
+    "kernel_delta",
+    "env_boot",
+    "schema_version",
+)
+
+
+def result_digest(result: Dict[str, Any]) -> str:
+    """SHA-256 over a result record's *stable* fields (canonical JSON).
+
+    Two runs of one job must produce the same digest regardless of
+    wall time, cache weather, or whether the worker booted from a
+    snapshot — the scratch-vs-snapshot byte-identity gate compares
+    these.
+    """
+    stable = {
+        key: value
+        for key, value in result.items()
+        if key not in VOLATILE_RESULT_KEYS
+    }
+    canonical = json.dumps(
+        stable, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 #: Config-spec kinds understood by :func:`repro.service.worker.build_config`.
 CONFIG_KINDS = ("auto", "dotted", "live")
 

@@ -49,6 +49,7 @@ from .job import (
     STATUS_TIMEOUT,
     JobError,
     RepairJob,
+    result_digest,
 )
 from .store import ResultStore
 from .graph import toposort
@@ -81,6 +82,9 @@ class BatchOptions:
     refresh: bool = False
     store: Optional[ResultStore] = None
     fault_plan: Optional[FaultPlan] = None
+    #: Snapshot pack for warm-starting workers (see
+    #: :mod:`repro.kernel.snapshot`); None disables snapshot boots.
+    snapshot: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs <= 0:
@@ -115,6 +119,10 @@ class JobOutcome:
             out["error"] = self.error
         if self.result is not None:
             out["new_name"] = self.result.get("new_name")
+            out["result_digest"] = result_digest(self.result)
+            boot = self.result.get("env_boot")
+            if boot is not None:
+                out["env_boot"] = boot
         return out
 
 
@@ -225,6 +233,7 @@ def _job_alarm(timeout_s: Optional[float]) -> Iterator[None]:
 
 def inprocess_runner(
     fault_plan: Optional[FaultPlan] = None,
+    snapshot: Optional[str] = None,
 ) -> Runner:
     """The deterministic in-process executor (``--jobs 1`` and tests)."""
     from .worker import run_job
@@ -240,13 +249,20 @@ def inprocess_runner(
         ):
             with _job_alarm(timeout_s):
                 return run_job(
-                    payload, attempt, fault_plan, in_process=True
+                    payload,
+                    attempt,
+                    fault_plan,
+                    in_process=True,
+                    snapshot=snapshot,
                 )
 
     return run
 
 
-def _worker_environ(fault_plan: Optional[FaultPlan]) -> Dict[str, str]:
+def _worker_environ(
+    fault_plan: Optional[FaultPlan],
+    snapshot: Optional[str] = None,
+) -> Dict[str, str]:
     import repro
 
     environ = dict(os.environ)
@@ -256,11 +272,14 @@ def _worker_environ(fault_plan: Optional[FaultPlan]) -> Dict[str, str]:
     environ["PYTHONPATH"] = os.pathsep.join(parts)
     if fault_plan is not None:
         environ["REPRO_FAULT_PLAN"] = fault_plan.to_env()
+    if snapshot is not None:
+        environ["REPRO_SNAPSHOT"] = snapshot
     return environ
 
 
 def subprocess_runner(
     fault_plan: Optional[FaultPlan] = None,
+    snapshot: Optional[str] = None,
 ) -> Runner:
     """One hermetic worker subprocess per attempt.
 
@@ -269,12 +288,15 @@ def subprocess_runner(
     A worker that outlives the per-job timeout is killed and reported as
     :class:`JobTimeout`.
     """
-    environ = _worker_environ(fault_plan)
+    environ = _worker_environ(fault_plan, snapshot)
 
     def run(
         payload: Dict[str, Any], attempt: int, timeout_s: Optional[float]
     ) -> Dict[str, Any]:
-        request = json.dumps({"payload": payload, "attempt": attempt})
+        envelope: Dict[str, Any] = {"payload": payload, "attempt": attempt}
+        if snapshot is not None:
+            envelope["snapshot"] = snapshot
+        request = json.dumps(envelope)
         process = subprocess.Popen(
             [sys.executable, "-m", "repro.service.worker"],
             stdin=subprocess.PIPE,
@@ -414,9 +436,9 @@ def run_batch(
     options = options or BatchOptions()
     if runner is None:
         if options.jobs > 1:
-            runner = subprocess_runner(options.fault_plan)
+            runner = subprocess_runner(options.fault_plan, options.snapshot)
         else:
-            runner = inprocess_runner(options.fault_plan)
+            runner = inprocess_runner(options.fault_plan, options.snapshot)
     state = _BatchState(list(jobs))
     store = options.store
     report = BatchReport(batch=batch, jobs=options.jobs)

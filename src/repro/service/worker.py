@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import importlib
 import json
+import os
 import sys
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.config import ConfigError, Configuration
 from ..core.repair import RepairError, RepairSession
@@ -35,6 +36,14 @@ from ..kernel.stats import KERNEL_STATS
 from ..kernel.term import TermError
 from . import faults
 from .job import LIVE_SETUP, SCHEMA_VERSION, JobError
+
+#: Environment variable naming a snapshot pack to boot from.
+SNAPSHOT_ENV_VAR = "REPRO_SNAPSHOT"
+
+
+def default_snapshot() -> Optional[str]:
+    """``$REPRO_SNAPSHOT`` when set and non-empty, else None."""
+    return os.environ.get(SNAPSHOT_ENV_VAR) or None
 
 
 def resolve_ref(ref: str) -> Any:
@@ -70,6 +79,35 @@ def build_environment(setup: str) -> Environment:
             "not an Environment"
         )
     return env
+
+
+def boot_environment(
+    setup: str, snapshot: Optional[str] = None
+) -> Tuple[Environment, str]:
+    """Build a job's environment, from a snapshot pack when possible.
+
+    Returns ``(env, boot)`` where ``boot`` is ``"snapshot"`` or
+    ``"scratch"``.  The snapshot path is honoured only when the pack
+    loads cleanly, carries an entry for ``setup``, *and* that entry's
+    fingerprint matches the setup module's current source — any
+    mismatch, corruption, or missing file falls back to a scratch boot
+    (refuse-don't-crash: a stale or damaged snapshot can cost time,
+    never correctness).
+    """
+    path = snapshot if snapshot is not None else default_snapshot()
+    if path:
+        from ..kernel.snapshot import SnapshotError, load_snapshot_cached
+
+        try:
+            entry = load_snapshot_cached(path).get(setup)
+            if entry is not None:
+                from .job import fingerprint_source
+
+                if entry.fingerprint == fingerprint_source(setup):
+                    return entry.build_env(), "snapshot"
+        except (SnapshotError, JobError):
+            pass
+    return build_environment(setup), "scratch"
 
 
 def build_config(env: Environment, spec: Dict[str, Any]) -> Configuration:
@@ -210,11 +248,13 @@ def build_record(
     }
 
 
-def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+def execute_job(
+    payload: Dict[str, Any], snapshot: Optional[str] = None
+) -> Dict[str, Any]:
     """Run one repair job against a freshly built environment."""
     started = time.perf_counter()
     before = _stats_snapshot()
-    env = build_environment(payload["setup"])
+    env, boot = boot_environment(payload["setup"], snapshot)
     config = build_config(env, payload["config"])
     session = RepairSession(
         env,
@@ -226,7 +266,9 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     result = session.repair_constant(
         payload["target"], new_name=payload.get("new_name")
     )
-    return build_record(env, session, result, before, started)
+    record = build_record(env, session, result, before, started)
+    record["env_boot"] = boot
+    return record
 
 
 def attempt_job(
@@ -274,15 +316,33 @@ def run_job(
     attempt: int = 0,
     fault_plan: Optional[faults.FaultPlan] = None,
     in_process: bool = False,
+    snapshot: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One hermetic attempt: rebuild the environment, then repair."""
     return attempt_job(
-        lambda: execute_job(payload), payload, attempt, fault_plan, in_process
+        lambda: execute_job(payload, snapshot),
+        payload,
+        attempt,
+        fault_plan,
+        in_process,
     )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Subprocess body: JSON payload on stdin, JSON record on stdout."""
+    """Subprocess body: JSON payload on stdin, JSON record on stdout.
+
+    The snapshot to boot from comes from (highest priority first) the
+    request envelope's ``snapshot`` field, a ``--snapshot PATH``
+    argument, or ``$REPRO_SNAPSHOT``.
+    """
+    snapshot: Optional[str] = None
+    args = list(argv) if argv is not None else sys.argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--snapshot" and args:
+            snapshot = args.pop(0)
+        elif arg.startswith("--snapshot="):
+            snapshot = arg.split("=", 1)[1]
     raw = sys.stdin.read()
     try:
         envelope = json.loads(raw)
@@ -295,7 +355,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     payload = envelope.get("payload", envelope)
     attempt = int(envelope.get("attempt", 0))
-    record = run_job(payload, attempt)
+    snapshot = envelope.get("snapshot") or snapshot
+    record = run_job(payload, attempt, snapshot=snapshot)
     record["schema_version"] = SCHEMA_VERSION
     json.dump(record, sys.stdout)
     sys.stdout.write("\n")

@@ -1,0 +1,103 @@
+"""Regenerate the committed golden snapshot fixture.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/make_golden.py
+
+The fixture pins the on-disk format: ``test_snapshot.py`` decodes the
+committed bytes and asserts a re-encode reproduces them byte-for-byte
+on every supported Python version (the CI matrix runs it on
+3.11/3.12/3.13).  Regenerate it ONLY on a deliberate format-version
+bump — committing new bytes without bumping
+:data:`repro.kernel.codec.FORMAT_VERSION` would silently break every
+existing snapshot.
+
+The environment inside is deliberately tiny and fully deterministic:
+a handful of declarations over ``nat``, built with the reduction cache
+disabled so the pack contains no cache entries (their insertion order
+is an elaboration detail, not part of the format contract).
+"""
+
+import os
+import sys
+
+from repro.kernel.codec import FORMAT_VERSION
+from repro.kernel.env import Environment
+from repro.kernel.inductive import ConstructorDecl, InductiveDecl
+from repro.kernel.snapshot import encode_pack
+from repro.kernel.term import (
+    App,
+    Constr,
+    Elim,
+    Ind,
+    Lam,
+    Pi,
+    Rel,
+    SET,
+    Sort,
+)
+
+#: The fixture's entry key and fingerprint are fixed strings — the
+#: golden pack is format evidence, not a bootable service snapshot.
+GOLDEN_KEY = "golden:tiny_env"
+GOLDEN_FINGERPRINT = "golden-fixture-fingerprint"
+
+
+def tiny_env() -> Environment:
+    env = Environment(reduction_cache=False)
+    nat = InductiveDecl(
+        name="nat",
+        params=(),
+        indices=(),
+        sort=SET,
+        constructors=(
+            ConstructorDecl(name="O", args=()),
+            ConstructorDecl(name="S", args=(("n", Ind("nat")),)),
+        ),
+    )
+    env.declare_inductive(nat)
+    env.define("zero", Constr("nat", 0))
+    env.define("one", App(Constr("nat", 1), Constr("nat", 0)))
+    env.define(
+        "pred",
+        Lam(
+            "n",
+            Ind("nat"),
+            Elim(
+                "nat",
+                Lam("_", Ind("nat"), Ind("nat")),
+                (
+                    Constr("nat", 0),
+                    Lam("m", Ind("nat"), Lam("ih", Ind("nat"), Rel(1))),
+                ),
+                Rel(0),
+            ),
+        ),
+    )
+    env.define(
+        "id_nat",
+        Lam("n", Ind("nat"), Rel(0)),
+        type=Pi("n", Ind("nat"), Ind("nat")),
+    )
+    env.assume("nat_is_set", Sort(1))
+    return env
+
+
+def golden_bytes() -> bytes:
+    return encode_pack({GOLDEN_KEY: (tiny_env(), GOLDEN_FINGERPRINT)})
+
+
+def main() -> int:
+    out = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        f"golden_snapshot_v{FORMAT_VERSION}.bin",
+    )
+    data = golden_bytes()
+    with open(out, "wb") as handle:
+        handle.write(data)
+    print(f"wrote {out}: {len(data)} bytes (format v{FORMAT_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,18 @@
-"""The bench regression gate's transform-phase floor.
+"""The bench regression gate: transform-phase floor + required phases.
 
 ``check_regression.compare`` applies a tighter absolute wall-time floor
 to ``*/transform`` phases than to everything else: the transformer hot
 path is a few milliseconds per case by design, so the general
 ``--min-seconds`` noise floor (sized for whole-case walls) would hide
 any realistic regression in it.
+
+``--require-phase`` pins a phase into the *current* report regardless
+of the baseline — the guard that keeps a new phase family (like
+``cold_start/snapshot``) from silently vanishing before its baseline
+exists.
 """
 
+import json
 import pathlib
 import sys
 
@@ -14,7 +20,12 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "benchmarks")
 )
 
-from check_regression import _is_transform_phase, compare  # noqa: E402
+from check_regression import (  # noqa: E402
+    _is_transform_phase,
+    compare,
+    main,
+    missing_required,
+)
 
 
 def _report(phases):
@@ -79,3 +90,71 @@ def test_transform_within_tolerance_passes():
         transform_min_seconds=0.005,
     )
     assert regressions == []
+
+
+# -- --require-phase ----------------------------------------------------------
+
+
+def test_missing_required_reports_absent_phases_in_order():
+    current = _report({"cold_start/scratch": _entry(1.0)})
+    assert missing_required(current, []) == []
+    assert missing_required(current, ["cold_start/scratch"]) == []
+    assert missing_required(
+        current, ["cold_start/snapshot", "cold_start/scratch", "warm/jobs1"]
+    ) == ["cold_start/snapshot", "warm/jobs1"]
+
+
+def _write_report(path, phases):
+    payload = {
+        "schema_version": 1,
+        "benchmark": "service",
+        "timestamp": "2026-08-09T00:00:00+00:00",
+        "git_sha": "test",
+        "phases": phases,
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_require_phase_fails_even_when_baseline_lacks_it(tmp_path, capsys):
+    current = _write_report(
+        tmp_path / "current.json", {"cold/jobs1": _entry(1.0)}
+    )
+    baseline = _write_report(
+        tmp_path / "baseline.json", {"cold/jobs1": _entry(1.0)}
+    )
+    argv = [
+        "check_regression.py",
+        current,
+        baseline,
+        "--require-phase",
+        "cold_start/snapshot",
+    ]
+    assert main(argv) == 1
+    err = capsys.readouterr().err
+    assert "cold_start/snapshot" in err and "required phase" in err
+
+
+def test_require_phase_passes_when_current_carries_it(tmp_path, capsys):
+    current = _write_report(
+        tmp_path / "current.json",
+        {
+            "cold/jobs1": _entry(1.0),
+            "cold_start/scratch": _entry(0.4),
+            "cold_start/snapshot": _entry(0.3),
+        },
+    )
+    baseline = _write_report(
+        tmp_path / "baseline.json", {"cold/jobs1": _entry(1.0)}
+    )
+    argv = [
+        "check_regression.py",
+        current,
+        baseline,
+        "--require-phase",
+        "cold_start/scratch",
+        "--require-phase",
+        "cold_start/snapshot",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()

@@ -1,0 +1,514 @@
+"""Snapshot packs: round-trips, zero-rebuild restore, and worker boots.
+
+Three contracts, in order of severity:
+
+* **Fidelity** — a pack round-trips its environments exactly: same
+  declarations, arena-identical terms (under hash consing), and the
+  serializable reduction-cache families restored so they *hit*.
+* **Zero rebuild** — :meth:`SnapshotEntry.build_env` performs no
+  elaboration, pinned on :data:`~repro.kernel.stats.KERNEL_STATS`: the
+  ``infer``/``check``/``conv``/``whnf``/``nf`` counters must not move.
+* **Refuse, don't crash** — corrupted or version-bumped packs raise
+  :class:`SnapshotError`; a stale or missing pack routes
+  :func:`~repro.service.worker.boot_environment` to a scratch boot.
+
+The committed golden fixture (``tests/fixtures/golden_snapshot_v*.bin``)
+pins the on-disk format across interpreter versions: the CI matrix
+decodes bytes written on 3.11 from every supported Python.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.kernel.codec import FORMAT_VERSION, MAGIC, SnapshotError
+from repro.kernel.env import EnvError, Environment
+from repro.kernel.snapshot import (
+    SIX_CASE_SETUPS,
+    build_pack_from_refs,
+    clear_pack_cache,
+    decode_pack,
+    encode_pack,
+    load_snapshot,
+    load_snapshot_cached,
+    main as snapshot_main,
+    save_snapshot,
+)
+from repro.kernel.stats import KERNEL_STATS
+from repro.kernel.term import hash_consing_enabled
+from repro.stdlib import make_env
+from tests.fixtures.make_golden import (
+    GOLDEN_FINGERPRINT,
+    GOLDEN_KEY,
+    golden_bytes,
+    tiny_env,
+)
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "fixtures",
+    f"golden_snapshot_v{FORMAT_VERSION}.bin",
+)
+
+#: The KernelStats tables that must stay still during a snapshot boot.
+ELABORATION_TABLES = ("infer", "check", "conv", "whnf", "nf")
+
+
+def _elaboration_counts():
+    return {
+        name: (
+            KERNEL_STATS.counter(name).hits,
+            KERNEL_STATS.counter(name).misses,
+        )
+        for name in ELABORATION_TABLES
+    }
+
+
+def _pack_bytes(env, key="test:env", fingerprint="fp"):
+    return encode_pack({key: (env, fingerprint)})
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pack_cache():
+    clear_pack_cache()
+    yield
+    clear_pack_cache()
+
+
+# -- Round-trip fidelity ------------------------------------------------------
+
+
+class TestPackRoundTrip:
+    def test_declarations_survive(self):
+        env = make_env(lists=False, vectors=False)
+        pack = decode_pack(_pack_bytes(env))
+        restored = pack.get("test:env").build_env()
+        assert restored.declaration_order() == env.declaration_order()
+        for name in env.declaration_order():
+            if env.has_inductive(name):
+                assert restored.inductive(name) == env.inductive(name)
+            else:
+                old, new = env.constant(name), restored.constant(name)
+                assert new.type == old.type
+                assert new.body == old.body
+                assert new.opaque == old.opaque
+
+    def test_terms_are_arena_identical(self):
+        if not hash_consing_enabled():
+            pytest.skip("interning disabled: arena identity not expected")
+        env = make_env(lists=False, vectors=False)
+        restored = decode_pack(_pack_bytes(env)).get("test:env").build_env()
+        for name in env.declaration_order():
+            if not env.has_inductive(name):
+                assert restored.constant(name).type is env.constant(name).type
+
+    def test_multiple_envs_share_one_node_table(self):
+        env = make_env(lists=False, vectors=False)
+        one = len(decode_pack(_pack_bytes(env)).entries)
+        data = encode_pack(
+            {
+                "a": (env, "fp-a"),
+                "b": (env, "fp-b"),
+            }
+        )
+        pack = decode_pack(data)
+        assert one == 1 and pack.keys() == ("a", "b")
+        # The second entry adds only its directory row + body, never a
+        # second copy of the shared term table.
+        assert len(data) < 2 * len(_pack_bytes(env))
+
+    def test_reencode_is_byte_stable(self):
+        env = make_env(lists=False, vectors=False)
+        data = _pack_bytes(env)
+        entry = decode_pack(data).get("test:env")
+        assert _pack_bytes(entry.build_env()) == data
+
+    def test_each_build_env_is_a_fresh_environment(self):
+        entry = decode_pack(_pack_bytes(tiny_env())).get("test:env")
+        first, second = entry.build_env(), entry.build_env()
+        assert first is not second
+        first.assume("extra", first.constant("id_nat").type)
+        assert not second.has_constant("extra")
+
+
+class TestZeroRebuild:
+    def test_build_env_does_no_elaboration(self):
+        env = make_env(lists=False, vectors=False)
+        data = _pack_bytes(env)
+        before = _elaboration_counts()
+        restored = decode_pack(data).get("test:env").build_env()
+        assert _elaboration_counts() == before
+        assert restored.declaration_order() == env.declaration_order()
+
+    def test_cache_entries_restore_and_hit(self):
+        from repro.kernel.stats import CACHES_DISABLED_BY_ENV
+
+        if CACHES_DISABLED_BY_ENV:
+            pytest.skip("reduction cache disabled: nothing to restore")
+        env = make_env(lists=False, vectors=False)
+        from repro.kernel.context import Context
+        from repro.kernel.reduce import nf
+        from repro.kernel.typecheck import infer
+
+        # Warm the source cache so the pack has entries to carry.
+        ctx = Context()
+        for name in ("add", "pred"):
+            infer(env, ctx, env.constant(name).type)
+            nf(env, env.constant(name).type)
+        serializable = sum(
+            1
+            for key in env.reduction_cache._store
+            if isinstance(key, tuple)
+            and key
+            and key[0] in ("whnf", "nf", "conv", "infer", "check")
+        )
+        assert serializable > 0
+        restored = decode_pack(_pack_bytes(env)).get("test:env").build_env()
+        assert len(restored.reduction_cache._store) == serializable
+        # The restored entries answer live lookups: an infer over a
+        # cached term is a pure hit, no new misses.
+        before = KERNEL_STATS.counter("infer").misses
+        infer(restored, ctx, restored.constant("add").type)
+        assert KERNEL_STATS.counter("infer").misses == before
+
+    def test_cache_disabled_env_restores_without_cache(self):
+        entry = decode_pack(_pack_bytes(tiny_env())).get("test:env")
+        assert not entry.cache_enabled
+        assert not entry.build_env().reduction_cache.enabled
+
+
+# -- The golden fixture -------------------------------------------------------
+
+
+class TestGoldenFixture:
+    def test_committed_bytes_decode(self):
+        with open(GOLDEN_PATH, "rb") as handle:
+            data = handle.read()
+        pack = decode_pack(data)
+        entry = pack.get(GOLDEN_KEY)
+        assert entry is not None
+        assert entry.fingerprint == GOLDEN_FINGERPRINT
+        env = entry.build_env()
+        assert env.declaration_order() == (
+            "nat",
+            "nat_rect",
+            "zero",
+            "one",
+            "pred",
+            "id_nat",
+            "nat_is_set",
+        )
+
+    def test_generator_reproduces_committed_bytes(self):
+        """Regenerating the fixture must be a no-op between format bumps."""
+        if not hash_consing_enabled():
+            # The node table mirrors arena sharing; without interning
+            # the generator legitimately writes duplicate subterms.
+            pytest.skip("interning disabled: node-table layout differs")
+        with open(GOLDEN_PATH, "rb") as handle:
+            assert handle.read() == golden_bytes()
+
+    def test_reencoding_the_decoded_env_reproduces_the_bytes(self):
+        with open(GOLDEN_PATH, "rb") as handle:
+            data = handle.read()
+        entry = decode_pack(data).get(GOLDEN_KEY)
+        assert (
+            encode_pack({GOLDEN_KEY: (entry.build_env(), GOLDEN_FINGERPRINT)})
+            == data
+        )
+
+    def test_bumped_format_version_is_refused(self):
+        data = bytearray(golden_bytes())
+        assert data[: len(MAGIC)] == MAGIC
+        # The uvarint version sits right after the magic; v1 is one byte.
+        assert data[len(MAGIC)] == FORMAT_VERSION == 1
+        data[len(MAGIC)] = FORMAT_VERSION + 1
+        with pytest.raises(SnapshotError, match="version"):
+            decode_pack(bytes(data))
+
+
+# -- Corruption ---------------------------------------------------------------
+
+
+class TestPackCorruption:
+    def test_every_truncation_refused(self):
+        data = golden_bytes()
+        for cut in range(len(data)):
+            with pytest.raises(SnapshotError):
+                decode_pack(data[:cut])
+
+    def test_trailing_garbage_refused(self):
+        with pytest.raises(SnapshotError, match="trailing"):
+            decode_pack(golden_bytes() + b"\x00")
+
+    def test_fuzz_flipped_bytes(self):
+        """Any single-bit corruption either decodes or raises SnapshotError."""
+        data = golden_bytes()
+        rng = random.Random(0xC0DEC)
+        for _ in range(300):
+            mutated = bytearray(data)
+            index = rng.randrange(len(mutated))
+            mutated[index] ^= 1 << rng.randrange(8)
+            try:
+                pack = decode_pack(bytes(mutated))
+                for key in pack.keys():
+                    entry = pack.entries[key]
+                    entry.decls, entry.cache_entries
+            except SnapshotError:
+                pass  # refused cleanly
+            # Any other exception propagates and fails the test.
+
+    def test_non_bytes_input(self):
+        with pytest.raises(SnapshotError, match="bytes"):
+            decode_pack({"not": "bytes"})  # type: ignore[arg-type]
+
+    def test_term_stream_is_not_a_pack(self):
+        from repro.kernel.codec import encode_term
+        from repro.kernel.term import Sort
+
+        with pytest.raises(SnapshotError, match="kind"):
+            decode_pack(encode_term(Sort(0)))
+
+    def test_from_parts_rejects_duplicates_and_junk(self):
+        decl = tiny_env().constant("zero")
+        with pytest.raises(EnvError, match="duplicate"):
+            Environment.from_parts([decl, decl])
+        with pytest.raises(EnvError, match="from_parts"):
+            Environment.from_parts(["zero"])
+
+
+# -- File I/O and the CLI -----------------------------------------------------
+
+
+class TestSnapshotFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "env.snap")
+        size = save_snapshot(path, {"k": (tiny_env(), "fp")})
+        assert os.path.getsize(path) == size
+        pack = load_snapshot(path)
+        assert pack.keys() == ("k",)
+        assert not [p for p in os.listdir(tmp_path) if ".tmp." in p]
+
+    def test_missing_file_is_a_snapshot_error(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(str(tmp_path / "absent.snap"))
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot_cached(str(tmp_path / "absent.snap"))
+
+    def test_cached_load_decodes_once_per_file_version(self, tmp_path):
+        path = str(tmp_path / "env.snap")
+        save_snapshot(path, {"k": (tiny_env(), "fp")})
+        first = load_snapshot_cached(path)
+        assert load_snapshot_cached(path) is first
+        # A rewrite (new mtime/size) invalidates the cached pack.
+        save_snapshot(path, {"k2": (tiny_env(), "fp2")})
+        os.utime(path, ns=(1, 1))
+        assert load_snapshot_cached(path).keys() == ("k2",)
+
+    def test_cli_build_and_inspect(self, tmp_path, capsys):
+        path = str(tmp_path / "stdlib.snap")
+        assert snapshot_main([path, "--setup", "repro.stdlib:make_env"]) == 0
+        out = capsys.readouterr().out
+        assert "1 environment(s)" in out
+        assert snapshot_main(["--inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "repro.stdlib:make_env" in out
+
+    def test_cli_usage_and_failure_paths(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            snapshot_main([str(tmp_path / "x.snap")])  # no setups
+        with pytest.raises(SystemExit):
+            snapshot_main(["--setup", "repro.stdlib:make_env"])  # no output
+        assert (
+            snapshot_main(
+                [str(tmp_path / "x.snap"), "--setup", "no.such:mod"]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_six_case_setups_resolve(self):
+        # The CLI's --six-cases list must track the service's cases.
+        from repro.service.cases import six_case_jobs
+
+        assert set(SIX_CASE_SETUPS) == {
+            job.setup for job in six_case_jobs()
+        }
+
+
+# -- Worker boots -------------------------------------------------------------
+
+
+STDLIB_REF = "repro.stdlib:make_env"
+
+
+class TestWorkerBoot:
+    def test_boot_prefers_a_fresh_snapshot(self, tmp_path):
+        from repro.service.worker import boot_environment
+
+        path = str(tmp_path / "boot.snap")
+        save_snapshot(path, build_pack_from_refs([STDLIB_REF]))
+        env, boot = boot_environment(STDLIB_REF, snapshot=path)
+        assert boot == "snapshot"
+        assert env.has_constant("add")
+
+    def test_stale_fingerprint_falls_back_to_scratch(self, tmp_path):
+        from repro.service.worker import boot_environment
+
+        path = str(tmp_path / "stale.snap")
+        save_snapshot(path, {STDLIB_REF: (make_env(), "stale-fingerprint")})
+        env, boot = boot_environment(STDLIB_REF, snapshot=path)
+        assert boot == "scratch"
+        assert env.has_constant("add")
+
+    def test_missing_or_corrupt_pack_falls_back_to_scratch(self, tmp_path):
+        from repro.service.worker import boot_environment
+
+        _env, boot = boot_environment(
+            STDLIB_REF, snapshot=str(tmp_path / "absent.snap")
+        )
+        assert boot == "scratch"
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"garbage, not a pack")
+        _env, boot = boot_environment(STDLIB_REF, snapshot=str(bad))
+        assert boot == "scratch"
+
+    def test_env_var_names_the_default_snapshot(self, tmp_path, monkeypatch):
+        from repro.service.worker import SNAPSHOT_ENV_VAR, boot_environment
+
+        path = str(tmp_path / "envvar.snap")
+        save_snapshot(path, build_pack_from_refs([STDLIB_REF]))
+        monkeypatch.setenv(SNAPSHOT_ENV_VAR, path)
+        _env, boot = boot_environment(STDLIB_REF)
+        assert boot == "snapshot"
+
+    def test_snapshot_boot_repairs_identically(self, tmp_path):
+        """The KernelStats-gated contract: a snapshot-booted job does
+        zero environment re-elaboration and produces a byte-identical
+        record."""
+        from repro.service.cases import six_case_jobs
+        from repro.service.job import result_digest
+        from repro.service.worker import execute_job
+
+        job = next(
+            j
+            for j in six_case_jobs()
+            if j.name == "quickstart/rev_app_distr"
+        )
+        path = str(tmp_path / "case.snap")
+        save_snapshot(path, build_pack_from_refs([job.setup]))
+        payload = job.payload()
+        scratch = execute_job(dict(payload))
+        before = _elaboration_counts()
+        load_snapshot_cached(path).get(job.setup).build_env()
+        assert _elaboration_counts() == before, (
+            "snapshot boot re-elaborated the environment"
+        )
+        warm = execute_job(dict(payload), snapshot=path)
+        assert scratch["env_boot"] == "scratch"
+        assert warm["env_boot"] == "snapshot"
+        assert result_digest(scratch) == result_digest(warm)
+        assert json.dumps(
+            {
+                k: v
+                for k, v in warm.items()
+                if k not in ("wall_time_s", "kernel_delta", "env_boot")
+            },
+            sort_keys=True,
+        ) == json.dumps(
+            {
+                k: v
+                for k, v in scratch.items()
+                if k not in ("wall_time_s", "kernel_delta", "env_boot")
+            },
+            sort_keys=True,
+        )
+
+
+# -- Batch warm-up ------------------------------------------------------------
+
+
+class TestWarmup:
+    def _jobs(self):
+        from repro.service.cases import six_case_jobs
+
+        return [
+            j for j in six_case_jobs() if j.name.startswith("quickstart/")
+        ]
+
+    def test_batch_setups_dedups_and_skips_live(self):
+        from repro.service.job import LIVE_SETUP, RepairJob
+        from repro.service.warmup import batch_setups
+
+        jobs = self._jobs() + [
+            RepairJob(
+                name="live/x",
+                setup=LIVE_SETUP,
+                target="t",
+                config={"kind": "live"},
+                old=("o",),
+            )
+        ]
+        setups = batch_setups(jobs)
+        assert setups == ["repro.service.cases:quickstart_env"]
+
+    def test_ensure_builds_then_reuses(self, tmp_path):
+        from repro.service.warmup import ensure_batch_snapshot
+
+        jobs = self._jobs()
+        path = str(tmp_path / "batch.snap")
+        assert ensure_batch_snapshot(jobs, path) == path
+        stamp = os.stat(path).st_mtime_ns
+        clear_pack_cache()
+        ensure_batch_snapshot(jobs, path)
+        assert os.stat(path).st_mtime_ns == stamp  # reused, not rewritten
+
+    def test_ensure_rebuilds_a_corrupt_pack(self, tmp_path):
+        from repro.service.warmup import ensure_batch_snapshot
+
+        jobs = self._jobs()
+        path = tmp_path / "batch.snap"
+        path.write_bytes(b"definitely not a pack")
+        ensure_batch_snapshot(jobs, str(path))
+        assert load_snapshot(str(path)).get(jobs[0].setup) is not None
+
+    def test_ensure_rebuilds_on_stale_fingerprint(self, tmp_path):
+        from repro.service.warmup import ensure_batch_snapshot
+
+        jobs = self._jobs()
+        path = str(tmp_path / "batch.snap")
+        save_snapshot(path, {jobs[0].setup: (make_env(), "stale")})
+        clear_pack_cache()
+        ensure_batch_snapshot(jobs, path)
+        entry = load_snapshot(path).get(jobs[0].setup)
+        assert entry.fingerprint != "stale"
+
+
+class TestBatchByteIdentity:
+    def test_six_case_batch_is_byte_identical_scratch_vs_snapshot(
+        self, tmp_path
+    ):
+        """The tentpole gate: the full six-case batch produces identical
+        repair output whether workers boot from scratch or a snapshot."""
+        from repro.service.cases import six_case_jobs
+        from repro.service.scheduler import BatchOptions, run_batch
+        from repro.service.warmup import ensure_batch_snapshot
+
+        jobs = six_case_jobs()
+        path = str(tmp_path / "six.snap")
+        ensure_batch_snapshot(jobs, path)
+        scratch = run_batch(jobs, BatchOptions(jobs=1), batch="scratch")
+        warm = run_batch(
+            jobs, BatchOptions(jobs=1, snapshot=path), batch="warm"
+        )
+        assert scratch.ok and warm.ok
+        for cold, hot in zip(scratch.outcomes, warm.outcomes):
+            assert cold.job.name == hot.job.name
+            assert cold.result["env_boot"] == "scratch"
+            assert hot.result["env_boot"] == "snapshot", hot.job.name
+            cold_dict, hot_dict = cold.to_dict(), hot.to_dict()
+            assert (
+                cold_dict["result_digest"] == hot_dict["result_digest"]
+            ), cold.job.name
