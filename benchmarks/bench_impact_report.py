@@ -1,0 +1,207 @@
+"""Write BENCH_impact.json: impact-pruned vs unpruned batch wall time.
+
+Runs the synthetic wide batch (:func:`repro.service.synth.wide_jobs`:
+a 48-link ``nat`` chain that never touches ``list`` plus three genuinely
+affected quickstart targets, all repaired against the quickstart
+``list`` -> ``New.list`` configuration) through the service scheduler
+twice at ``--jobs 1`` with the in-process runner and no result store:
+once unpruned (the ``--no-impact`` shape) and once with the
+change-impact plan attached (the ``--impact`` shape).  Both runs pay
+identical per-job cost, so the wall-time ratio measures exactly what
+the planner prunes.
+
+Phases (shared schema, :mod:`report_schema`)::
+
+    impact/plan        # build the change-impact plan (cold plan store)
+    impact/unpruned    # full batch, every job dispatched
+    impact/pruned      # same batch, plan-certified jobs skipped
+
+plus a ``pruning`` extra with the pruned/unpruned wall-time ratio and
+the skip counts.  The bench is also the soundness gate — it fails hard
+when:
+
+* any job in either batch fails;
+* :func:`repro.service.planner.verify_impact` reports a violation on
+  the unpruned run (a job the plan would have skipped was *not*
+  byte-identical when force-run — the differential byte-identity
+  check);
+* the pruned run's skipped set is not exactly the plan's
+  ``unaffected`` verdicts;
+* a non-skipped pruned job's ``result_digest`` differs from its
+  unpruned twin (pruning must never change surviving outputs);
+* the pruned batch is not at most ``--max-pruned-ratio`` (default 0.6)
+  of the unpruned wall time — pruning must actually buy wall time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_impact_report.py \
+        [OUTPUT.json] [--max-pruned-ratio 0.6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Tuple
+
+from report_schema import make_report, write_report
+
+from repro.analysis.impact import VERDICT_UNAFFECTED, PlanStore
+from repro.service import BatchOptions, run_batch, verify_impact
+from repro.service.job import result_digest
+from repro.service.planner import BatchImpact, build_batch_impact
+from repro.service.synth import wide_jobs
+
+
+def _run(jobs: List[Any], label: str, impact: Any = None) -> Any:
+    report = run_batch(
+        jobs,
+        BatchOptions(jobs=1, timeout_s=600, backoff_s=0.0, impact=impact),
+        batch=f"wide/{label}",
+    )
+    bad = [o for o in report.outcomes if not o.ok]
+    if bad:
+        raise RuntimeError(
+            "%s batch failed: %s"
+            % (label, ", ".join(f"{o.job.name}={o.status}" for o in bad))
+        )
+    return report
+
+
+def _phase(report: Any, **extra: Any) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "wall_time_s": round(report.wall_time_s, 6),
+        "count": len(report.outcomes),
+        "jobs": 1,
+        "workers": 1,
+    }
+    entry.update(extra)
+    return entry
+
+
+def _check_soundness(
+    jobs: List[Any], impact: BatchImpact, unpruned: Any, pruned: Any
+) -> Tuple[int, int]:
+    """Hard gates; returns (skipped, dispatched) counts of the pruned run."""
+    violations = verify_impact(unpruned, impact)
+    if violations:
+        raise RuntimeError(
+            "differential byte-identity check failed:\n  "
+            + "\n  ".join(violations)
+        )
+
+    certified = set()
+    for job in jobs:
+        entry = impact.entry_for(job)
+        if entry is not None and entry.verdict == VERDICT_UNAFFECTED:
+            certified.add(job.name)
+    skipped = {
+        o.job.name
+        for o in pruned.outcomes
+        if o.status == "skipped-unaffected"
+    }
+    if skipped != certified:
+        raise RuntimeError(
+            "pruned skip set does not match the plan: "
+            f"skipped-but-uncertified={sorted(skipped - certified)}, "
+            f"certified-but-dispatched={sorted(certified - skipped)}"
+        )
+
+    unpruned_digests = {
+        o.job.name: result_digest(o.result) for o in unpruned.outcomes
+    }
+    for outcome in pruned.outcomes:
+        if outcome.job.name in skipped:
+            continue
+        if result_digest(outcome.result) != unpruned_digests[outcome.job.name]:
+            raise RuntimeError(
+                f"pruning changed the repair output of {outcome.job.name} "
+                "— pruned and unpruned digests differ"
+            )
+    return len(skipped), len(pruned.outcomes) - len(skipped)
+
+
+def build_report() -> Tuple[dict, dict]:
+    jobs = wide_jobs()
+    phases: Dict[str, Dict[str, Any]] = {}
+    with tempfile.TemporaryDirectory(prefix="bench_impact_") as tmp:
+        store = PlanStore(f"{tmp}/plans")
+        t0 = time.perf_counter()
+        impact = build_batch_impact(jobs, store=store)
+        plan_wall = time.perf_counter() - t0
+        total = store.hits + store.misses
+        phases["impact/plan"] = {
+            "wall_time_s": round(plan_wall, 6),
+            "count": len(impact.plans),
+            "jobs": 1,
+            "workers": 1,
+            "cache_hit_rates": {
+                "plans": round(store.hits / total, 4) if total else 0.0
+            },
+        }
+        unpruned = _run(jobs, "unpruned")
+        pruned = _run(jobs, "pruned", impact=impact)
+        skipped, dispatched = _check_soundness(jobs, impact, unpruned, pruned)
+    phases["impact/unpruned"] = _phase(unpruned)
+    phases["impact/pruned"] = _phase(pruned, skipped=skipped)
+    pruning = {
+        "pruned_vs_unpruned": round(
+            pruned.wall_time_s / max(unpruned.wall_time_s, 1e-9), 4
+        ),
+        "skipped": skipped,
+        "dispatched": dispatched,
+    }
+    report = make_report("impact", phases, pruning=pruning)
+    return report, pruning
+
+
+def print_summary(report: dict, pruning: dict) -> None:
+    for name in sorted(report["phases"]):
+        entry = report["phases"][name]
+        print(
+            f"{name:<16} {entry['wall_time_s']:8.4f}s  x{entry['count']}"
+        )
+    print(
+        f"pruning: ratio {pruning['pruned_vs_unpruned']}, "
+        f"{pruning['skipped']} skipped, {pruning['dispatched']} dispatched"
+    )
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="BENCH_impact.json")
+    parser.add_argument(
+        "--max-pruned-ratio",
+        type=float,
+        default=0.6,
+        help="fail when impact/pruned exceeds this fraction of "
+        "impact/unpruned (0 disables the check; default: 0.6)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    try:
+        report, pruning = build_report()
+        write_report(args.output, report)
+    except Exception as exc:
+        # A soundness violation or malformed report must fail the job
+        # instead of leaving a partial report behind.
+        print(f"bench_impact_report: {exc}", file=sys.stderr)
+        return 1
+    print_summary(report, pruning)
+    print(f"wrote {args.output}")
+    ratio = pruning["pruned_vs_unpruned"]
+    if args.max_pruned_ratio and ratio > args.max_pruned_ratio:
+        print(
+            f"bench_impact_report: impact/pruned is {ratio}x of "
+            f"impact/unpruned (limit {args.max_pruned_ratio}) — the plan "
+            "is not pruning enough",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,7 +19,9 @@ phase and exits non-zero when the fresh run regressed:
 * **required phases** — ``--require-phase NAME`` (repeatable) fails
   when the *current* report lacks ``NAME`` even if the baseline never
   carried it, so a brand-new phase family (e.g. ``cold_start/snapshot``)
-  is pinned into existence the moment its gate lands in CI.
+  is pinned into existence the moment its gate lands in CI.  ``NAME``
+  may be a shell-style glob (``impact/*``): the gate then requires at
+  least one matching phase.
 
 Usage::
 
@@ -31,6 +33,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
 from typing import List
 
@@ -97,9 +100,22 @@ def compare(
 
 
 def missing_required(current: dict, required: List[str]) -> List[str]:
-    """Required phases absent from ``current`` (order preserved)."""
+    """Required phases/globs unmatched by ``current`` (order preserved).
+
+    A plain name must be present verbatim; a glob pattern (``*?[``)
+    must match at least one phase.
+    """
     phases = current["phases"]
-    return [name for name in required if name not in phases]
+    missing: List[str] = []
+    for name in required:
+        if any(ch in name for ch in "*?["):
+            if not any(
+                fnmatch.fnmatchcase(phase, name) for phase in phases
+            ):
+                missing.append(name)
+        elif name not in phases:
+            missing.append(name)
+    return missing
 
 
 def main(argv) -> int:
@@ -141,7 +157,8 @@ def main(argv) -> int:
         metavar="NAME",
         help=(
             "fail when the current report lacks this phase, even if the "
-            "baseline never carried it (repeatable)"
+            "baseline never carried it (repeatable; shell globs like "
+            "'impact/*' require at least one match)"
         ),
     )
     args = parser.parse_args(argv[1:])

@@ -10,7 +10,9 @@ shared :class:`~repro.analysis.diagnostics.Diagnostic` values:
 * :mod:`~repro.analysis.configlint` — Figure 8 configuration coherence
   (RA2xx);
 * :mod:`~repro.analysis.tacticlint` — decompiled tactic scripts
-  (RA3xx).
+  (RA3xx);
+* :mod:`~repro.analysis.impact` — whole-environment change-impact
+  verdicts and content-addressed repair plans (RA4xx).
 
 ``python -m repro.analysis`` sweeps the stdlib and every case study;
 ``REPRO_ANALYZE=1`` (or :func:`set_analysis`) arms the in-pipeline
@@ -28,6 +30,19 @@ from .gate import (
     set_analysis,
 )
 from .configlint import lint_configuration
+from .impact import (
+    VERDICT_OPAQUE,
+    VERDICT_SIGNATURE,
+    VERDICT_TRANSPORT,
+    VERDICT_UNAFFECTED,
+    VERDICTS,
+    ImpactEntry,
+    PlanStore,
+    RepairPlan,
+    build_plan,
+    ensure_plan,
+    plan_key,
+)
 from .residual import find_residuals, tainted_globals
 from .scope import (
     check_constant,
@@ -43,16 +58,27 @@ __all__ = [
     "AnalysisError",
     "CODES",
     "Diagnostic",
+    "ImpactEntry",
+    "PlanStore",
+    "RepairPlan",
     "Report",
     "Severity",
+    "VERDICTS",
+    "VERDICT_OPAQUE",
+    "VERDICT_SIGNATURE",
+    "VERDICT_TRANSPORT",
+    "VERDICT_UNAFFECTED",
     "analysis_enabled",
+    "build_plan",
     "check_constant",
     "check_environment",
     "check_inductive",
     "check_term",
+    "ensure_plan",
     "find_residuals",
     "lint_configuration",
     "lint_script",
+    "plan_key",
     "repair_gate",
     "rule_gate",
     "set_analysis",

@@ -284,26 +284,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="restrict to the named target(s); default: all "
         f"({', '.join(sorted(CASES))})",
     )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RA###",
+        help="only report diagnostics with these codes (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RA###",
+        help="drop diagnostics with these codes (repeatable)",
+    )
     args = parser.parse_args(argv)
     targets = args.case or list(CASES)
+    from .diagnostics import CODES
+
+    for code in args.select + args.ignore:
+        if code not in CODES:
+            parser.error(f"unknown diagnostic code {code!r}")
+    select = frozenset(args.select)
+    ignore = frozenset(args.ignore)
 
     reports: Dict[str, Report] = {}
     for name in targets:
         with span("analyze_target", target=name):
-            reports[name] = run_target(name)
+            report = run_target(name)
+        if select or ignore:
+            kept = [
+                d
+                for d in report.diagnostics
+                if (not select or d.code in select)
+                and d.code not in ignore
+            ]
+            report = Report(diagnostics=kept)
+        reports[name] = report
 
     total_errors = sum(r.count(Severity.ERROR) for r in reports.values())
     if args.json:
+        per_target = {
+            name: report.to_dict() for name, report in reports.items()
+        }
+        # Every diagnostic says whether it (alone) classifies the exit
+        # status, so callers filter JSON instead of grepping text.
+        for target in per_target.values():
+            for diag in target["diagnostics"]:
+                diag["exit_error"] = diag["severity"] == "error"
         document = {
-            "targets": {
-                name: report.to_dict() for name, report in reports.items()
-            },
+            "targets": per_target,
             "summary": {
                 sev.value: sum(
                     r.count(sev) for r in reports.values()
                 )
                 for sev in Severity
             },
+            "exit_code": 1 if total_errors else 0,
         }
         print(json.dumps(document, indent=2))
     else:

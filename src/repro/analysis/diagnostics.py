@@ -36,7 +36,8 @@ class Severity(enum.Enum):
 
 #: Registry of every diagnostic code the analysis layer can emit.
 #: RA0xx — scope & arity; RA1xx — residual references; RA2xx —
-#: configuration coherence (Figure 8); RA3xx — tactic scripts.
+#: configuration coherence (Figure 8); RA3xx — tactic scripts;
+#: RA4xx — change-impact verdicts (:mod:`repro.analysis.impact`).
 CODES: Dict[str, str] = {
     "RA001": "de Bruijn index out of range",
     "RA002": "invalid sort level",
@@ -60,6 +61,10 @@ CODES: Dict[str, str] = {
     "RA302": "intro name shadows an existing hypothesis",
     "RA303": "tactic argument does not resolve",
     "RA304": "induction scrutinee is not a bound hypothesis",
+    "RA401": "definition is unaffected by the configuration",
+    "RA402": "only the definition's signature reaches the changed type",
+    "RA403": "definition's body requires transport across the equivalence",
+    "RA404": "impact cannot be certified; the definition must be repaired",
 }
 
 

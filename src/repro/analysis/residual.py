@@ -14,7 +14,11 @@ references to the old type ``A``.  This pass finds violations:
 Configuration constants (explicit iota marks, packing helpers — a
 repair session's ``skip`` set) legitimately bridge both sides; passing
 them in ``allow`` downgrades their transitive findings to ``INFO`` so
-the guarantee stays checkable on real case studies.
+the guarantee stays checkable on real case studies.  The same applies
+when the analyzed *subject* is itself an allowed configuration constant:
+an ``int_to_Zp``-style equivalence function must mention the old type
+directly, so its own direct hits downgrade too instead of reporting a
+self-reference false positive.
 """
 
 from __future__ import annotations
@@ -32,30 +36,8 @@ from ..kernel.term import (
     Lam,
     Pi,
     Term,
-    collect_globals,
 )
 from .diagnostics import Diagnostic, Severity
-
-
-def _declaration_refs(env: Environment) -> Dict[str, Set[str]]:
-    """Each declared global's directly referenced globals."""
-    refs: Dict[str, Set[str]] = {}
-    for decl in env.constants():
-        names = set(collect_globals(decl.type))
-        if decl.body is not None:
-            names |= collect_globals(decl.body)
-        refs[decl.name] = names
-    for ind in env.inductives():
-        names = set()
-        for _name, ty in tuple(ind.params) + tuple(ind.indices):
-            names |= collect_globals(ty)
-        for ctor in ind.constructors:
-            for _name, ty in ctor.args:
-                names |= collect_globals(ty)
-            for idx in ctor.result_indices:
-                names |= collect_globals(idx)
-        refs[ind.name] = names
-    return refs
 
 
 def tainted_globals(
@@ -64,10 +46,11 @@ def tainted_globals(
     """Globals whose δ-unfolding transitively mentions an old global.
 
     The result includes the old globals themselves.  Computed as a
-    reverse-dependency fixpoint over every declaration in ``env``.
+    reverse-dependency fixpoint over every declaration in ``env``,
+    using the environment's memoized direct-reference graph.
     """
     old = frozenset(old_globals)
-    refs = _declaration_refs(env)
+    refs: Dict[str, FrozenSet[str]] = env.declaration_refs()
     tainted: Set[str] = set(old)
     changed = True
     while changed:
@@ -87,9 +70,16 @@ def find_residuals(
     subject: str = "",
     path: Tuple[str, ...] = (),
 ) -> List[Diagnostic]:
-    """Report every reference in ``term`` that reaches an old global."""
+    """Report every reference in ``term`` that reaches an old global.
+
+    When ``subject`` itself names an allowed configuration constant,
+    direct mentions downgrade to ``INFO`` as well: the constant's whole
+    point is to bridge both sides, so its own references to the old
+    type are expected, not residuals.
+    """
     old = frozenset(old_globals)
     tainted = tainted_globals(env, old)
+    subject_allowed = subject in allow
     out: List[Diagnostic] = []
     stack: List[Tuple[Term, Tuple[str, ...]]] = [(term, path)]
     while stack:
@@ -101,11 +91,22 @@ def find_residuals(
             name = t.ind
         if name is not None:
             if name in old:
+                severity = (
+                    Severity.INFO if subject_allowed else Severity.ERROR
+                )
+                qualifier = (
+                    " (inside allowed configuration constant)"
+                    if subject_allowed
+                    else ""
+                )
                 out.append(
                     Diagnostic(
                         code="RA101",
-                        severity=Severity.ERROR,
-                        message=f"direct reference to old global {name!r}",
+                        severity=severity,
+                        message=(
+                            f"direct reference to old global "
+                            f"{name!r}{qualifier}"
+                        ),
                         subject=subject,
                         path=p,
                         rendering=pretty(t, env=env)

@@ -1,0 +1,121 @@
+"""SARIF 2.1.0 rendering for change-impact plans.
+
+One run per document, one result per declaration verdict, so CI can
+upload the file through ``github/codeql-action/upload-sarif`` and have
+verdicts annotate pull requests.  Locations point at the setup module's
+source file (the job's environment "script") — the only stable file a
+declaration can be traced to, since terms live in an arena, not a file.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .diagnostics import CODES, Severity
+from .impact import (
+    VERDICT_CODES,
+    VERDICT_SEVERITIES,
+    RepairPlan,
+)
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SARIF ``level`` per diagnostic severity.
+_LEVELS = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _setup_uri(setup: str) -> str:
+    """The setup module's source path, repo-relative when possible."""
+    module_name = setup.split(":", 1)[0]
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ImportError, ValueError):
+        spec = None
+    if spec is None or spec.origin is None:
+        return f"{module_name.replace('.', '/')}.py"
+    origin = spec.origin
+    relative = os.path.relpath(origin, os.getcwd())
+    return relative if not relative.startswith("..") else origin
+
+
+def _rules() -> List[Dict[str, Any]]:
+    rules = []
+    for verdict, code in VERDICT_CODES.items():
+        rules.append(
+            {
+                "id": code,
+                "name": verdict,
+                "shortDescription": {"text": CODES[code]},
+                "defaultConfiguration": {
+                    "level": _LEVELS[VERDICT_SEVERITIES[verdict]]
+                },
+            }
+        )
+    return rules
+
+
+def plans_to_sarif(
+    plans: Sequence[Tuple[str, RepairPlan]],
+) -> Dict[str, Any]:
+    """One SARIF document for ``(setup, plan)`` pairs."""
+    results: List[Dict[str, Any]] = []
+    for setup, plan in plans:
+        uri = _setup_uri(setup)
+        for entry in plan.entries.values():
+            message = f"{entry.name}: {entry.verdict} — {entry.reason}"
+            if len(entry.chain) > 1:
+                message += (
+                    " (evidence: " + " -> ".join(entry.chain) + ")"
+                )
+            results.append(
+                {
+                    "ruleId": entry.code,
+                    "level": _LEVELS[VERDICT_SEVERITIES[entry.verdict]],
+                    "message": {"text": message},
+                    "locations": [
+                        {
+                            "physicalLocation": {
+                                "artifactLocation": {"uri": uri},
+                                "region": {"startLine": 1},
+                            },
+                            "logicalLocations": [
+                                {
+                                    "name": entry.name,
+                                    "kind": "member",
+                                }
+                            ],
+                        }
+                    ],
+                    "partialFingerprints": {
+                        "planDigest": plan.digest,
+                        "defDigest": entry.def_digest,
+                    },
+                }
+            )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis.impact",
+                        "informationUri": (
+                            "https://github.com/uwplse/pumpkin-pi"
+                        ),
+                        "rules": _rules(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -18,6 +18,7 @@ Supported commands::
     Repair <A> <B> in <name> [as <new_name>]
     Repair module <A> <B> [prefix <Prefix>]
     Repair Batch <A> <B> in <name> <name> ... [prefix <Prefix>]
+        [impact | no-impact]
     Decompile <name>
     Replay <name>
     Analyze [<name>]
@@ -28,7 +29,10 @@ Supported commands::
 reverse-dependency graph, a failing target skips (rather than poisons)
 its dependents, and when the session has a result ``store`` attached,
 previously repaired targets replay from cache without redoing any
-transformation work.
+transformation work.  A trailing ``impact`` token (or
+``$REPRO_IMPACT=1``) prunes targets a change-impact plan certifies
+unaffected; ``no-impact`` runs everything and differentially asserts
+the pruned set would have been byte-identical.
 
 ``Repair`` uses the automatic workflow of Figure 6 (left): when no
 configuration was set up for the pair, the search procedures run first.
@@ -220,12 +224,27 @@ class CommandSession:
         )
 
     def _repair_batch(self, words: List[str], command: str) -> CommandResult:
-        # Repair Batch <A> <B> in <name> <name> ... [prefix <P>]
-        usage = "usage: Repair Batch <A> <B> in <name>... [prefix <P>]"
+        # Repair Batch <A> <B> in <name>... [prefix <P>] [impact|no-impact]
+        usage = (
+            "usage: Repair Batch <A> <B> in <name>... [prefix <P>] "
+            "[impact|no-impact]"
+        )
         if len(words) < 4 or words[2] != "in":
             raise CommandError(usage)
         a, b = words[0], words[1]
         targets = words[3:]
+        from .service.planner import (
+            MODE_CHECK,
+            MODE_PRUNE,
+            default_impact_mode,
+        )
+
+        impact_mode = default_impact_mode()
+        if targets and targets[-1] in ("impact", "no-impact"):
+            impact_mode = (
+                MODE_PRUNE if targets[-1] == "impact" else MODE_CHECK
+            )
+            targets = targets[:-1]
         prefix = None
         if len(targets) >= 2 and targets[-2] == "prefix":
             prefix = targets[-1]
@@ -234,6 +253,7 @@ class CommandSession:
             raise CommandError(usage)
         from .service.job import JobError
         from .service.live import live_jobs, run_live_batch
+        from .service.planner import build_batch_impact, verify_impact
         from .service.scheduler import BatchOptions
         from .service.worker import make_rename
 
@@ -245,14 +265,30 @@ class CommandSession:
         session = self._get_session(a, b, rename=make_rename(rename_spec))
         try:
             jobs = live_jobs(self.env, a, b, targets, rename=rename_spec)
+            impact = (
+                build_batch_impact(jobs, env=self.env)
+                if impact_mode is not None
+                else None
+            )
             report = run_live_batch(
                 session,
                 jobs,
-                BatchOptions(jobs=1, store=self.store),
+                BatchOptions(
+                    jobs=1,
+                    store=self.store,
+                    impact=impact if impact_mode == MODE_PRUNE else None,
+                ),
                 batch=f"{a}~{b}",
             )
         except JobError as exc:
             raise CommandError(str(exc)) from exc
+        if impact is not None and impact_mode == MODE_CHECK:
+            violations = verify_impact(report, impact)
+            if violations:
+                raise CommandError(
+                    "impact soundness violation(s):\n"
+                    + "\n".join(violations)
+                )
         results = [
             session.results[o.job.target]
             for o in report.outcomes

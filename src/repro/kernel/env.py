@@ -10,7 +10,7 @@ maintains for plugins like Pumpkin Pi.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from .inductive import (
     InductiveDecl,
@@ -126,9 +126,23 @@ class Environment:
         self._constants: Dict[str, ConstantDecl] = {}
         self._inductives: Dict[str, InductiveDecl] = {}
         self._decl_order: List[str] = []
+        self._revision: int = 0
+        self._refs_memo: Optional[
+            Tuple[int, Dict[str, FrozenSet[str]]]
+        ] = None
         if reduction_cache is None:
             reduction_cache = _reduction_cache_default
         self.reduction_cache = ReductionCache(enabled=reduction_cache)
+
+    @property
+    def revision(self) -> int:
+        """Monotone counter bumped by every declaration change.
+
+        Memos keyed on the environment's *shape* (e.g.
+        :meth:`declaration_refs`) use this to detect staleness without
+        hashing the whole environment.
+        """
+        return self._revision
 
     @property
     def kernel_stats(self) -> KernelStats:
@@ -171,6 +185,46 @@ class Environment:
         """Names of all globals in declaration order."""
         return tuple(self._decl_order)
 
+    def declaration_refs(self) -> Dict[str, FrozenSet[str]]:
+        """Each declared global's directly referenced globals, memoized.
+
+        A constant contributes the references of its type and (if
+        present) its body; an inductive family contributes its
+        parameter/index telescopes plus every constructor's argument
+        types and result indices.  The mapping is recomputed lazily
+        whenever :attr:`revision` has moved — a recompute is cheap
+        because :func:`~repro.kernel.term.collect_globals` is memoized
+        per arena node.  Callers must treat the result as immutable.
+        """
+        memo = self._refs_memo
+        if memo is not None and memo[0] == self._revision:
+            return memo[1]
+        from .term import collect_globals
+
+        refs: Dict[str, FrozenSet[str]] = {}
+        for decl in self._constants.values():
+            names = frozenset(collect_globals(decl.type))
+            if decl.body is not None:
+                names |= collect_globals(decl.body)
+            refs[decl.name] = names
+        for ind in self._inductives.values():
+            acc: set = set()
+            for _name, ty in tuple(ind.params) + tuple(ind.indices):
+                acc |= collect_globals(ty)
+            for ctor in ind.constructors:
+                for _name, ty in ctor.args:
+                    acc |= collect_globals(ty)
+                for idx in ctor.result_indices:
+                    acc |= collect_globals(idx)
+            refs[ind.name] = frozenset(acc)
+        self._refs_memo = (self._revision, refs)
+        return refs
+
+    def _mutated(self) -> None:
+        """Record a declaration change (invalidates shape-keyed memos)."""
+        self._revision += 1
+        self._refs_memo = None
+
     # -- Restore ------------------------------------------------------------
 
     @staticmethod
@@ -209,6 +263,7 @@ class Environment:
                     f"got {type(decl).__name__}"
                 )
             env._decl_order.append(name)
+            env._mutated()
         return env
 
     # -- Declaration --------------------------------------------------------
@@ -227,6 +282,7 @@ class Environment:
             self._check_inductive(decl)
         self._inductives[decl.name] = decl
         self._decl_order.append(decl.name)
+        self._mutated()
         self._define_recursor(decl)
         return decl
 
@@ -257,6 +313,7 @@ class Environment:
         decl = ConstantDecl(name=name, type=type, body=body, opaque=opaque)
         self._constants[name] = decl
         self._decl_order.append(name)
+        self._mutated()
         return decl
 
     def assume(self, name: str, type: Term, check: bool = True) -> ConstantDecl:
@@ -275,6 +332,7 @@ class Environment:
         decl = ConstantDecl(name=name, type=type, body=None)
         self._constants[name] = decl
         self._decl_order.append(name)
+        self._mutated()
         return decl
 
     def redefine(self, name: str, body: Term, type: Term) -> ConstantDecl:
@@ -285,6 +343,7 @@ class Environment:
         self._constants[name] = decl
         # The old body may be baked into cached reductions; drop them.
         self.reduction_cache.clear()
+        self._mutated()
         return decl
 
     def remove(self, name: str) -> None:
@@ -294,6 +353,7 @@ class Environment:
         if name in self._decl_order:
             self._decl_order.remove(name)
         self.reduction_cache.clear()
+        self._mutated()
 
     # -- Internal helpers ---------------------------------------------------
 
@@ -406,3 +466,4 @@ class Environment:
         decl_const = ConstantDecl(name=name, type=rect_type, body=rect_body)
         self._constants[name] = decl_const
         self._decl_order.append(name)
+        self._mutated()

@@ -22,7 +22,12 @@ This package turns :mod:`repro.core.repair` into a job service:
   environment (the ``Repair Batch`` vernacular command);
 * :mod:`~repro.service.manifest` / :mod:`~repro.service.cli` — the
   ``python -m repro.service`` batch front end;
-* :mod:`~repro.service.cases` — the standard six-case-study batch.
+* :mod:`~repro.service.cases` — the standard six-case-study batch;
+* :mod:`~repro.service.planner` — change-impact plans for the
+  scheduler (prune certified-unaffected jobs; differential soundness
+  gate) over :mod:`repro.analysis.impact`;
+* :mod:`~repro.service.synth` — deterministic synthetic wide
+  environments for impact benchmarks.
 """
 
 from .faults import CRASH_EXIT_CODE, FaultInjected, FaultPlan, JobTimeout, WorkerCrash
@@ -32,12 +37,20 @@ from .job import (
     STATUS_FAILED,
     STATUS_OK,
     STATUS_SKIPPED,
+    STATUS_SKIPPED_UNAFFECTED,
     STATUS_TIMEOUT,
     STATUSES,
     JobError,
     RepairJob,
     fingerprint_env,
     fingerprint_source,
+)
+from .planner import (
+    IMPACT_ENV_VAR,
+    BatchImpact,
+    build_batch_impact,
+    default_impact_mode,
+    verify_impact,
 )
 from .scheduler import (
     JOBS_ENV_VAR,
@@ -52,11 +65,13 @@ from .scheduler import (
 from .store import STORE_ENV_VAR, ResultStore, default_store_dir
 
 __all__ = [
+    "BatchImpact",
     "BatchOptions",
     "BatchReport",
     "CRASH_EXIT_CODE",
     "FaultInjected",
     "FaultPlan",
+    "IMPACT_ENV_VAR",
     "JOBS_ENV_VAR",
     "JobError",
     "JobOutcome",
@@ -68,10 +83,13 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_SKIPPED",
+    "STATUS_SKIPPED_UNAFFECTED",
     "STATUS_TIMEOUT",
     "STATUSES",
     "STORE_ENV_VAR",
     "WorkerCrash",
+    "build_batch_impact",
+    "default_impact_mode",
     "default_jobs",
     "default_store_dir",
     "fingerprint_env",
@@ -79,4 +97,5 @@ __all__ = [
     "inprocess_runner",
     "run_batch",
     "subprocess_runner",
+    "verify_impact",
 ]

@@ -92,6 +92,32 @@ def build_parser() -> argparse.ArgumentParser:
         help='inject faults, e.g. \'{"add": {"0": "crash"}}\'',
     )
     parser.add_argument(
+        "--impact",
+        action="store_true",
+        help=(
+            "build/reuse a change-impact plan and skip jobs it "
+            "certifies unaffected (also: $REPRO_IMPACT=1)"
+        ),
+    )
+    parser.add_argument(
+        "--no-impact",
+        action="store_true",
+        help=(
+            "escape hatch: run everything, then differentially assert "
+            "every job the plan would have skipped was byte-identical "
+            "(also: $REPRO_IMPACT=check); exits 3 on a violation"
+        ),
+    )
+    parser.add_argument(
+        "--impact-store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "plan store directory (default: $REPRO_IMPACT_STORE or "
+            "~/.cache/repro/impact)"
+        ),
+    )
+    parser.add_argument(
         "--report",
         default=None,
         metavar="PATH",
@@ -128,6 +154,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (SnapshotError, JobError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.impact and args.no_impact:
+        parser.error("--impact and --no-impact are mutually exclusive")
+    from .planner import (
+        MODE_CHECK,
+        MODE_PRUNE,
+        build_batch_impact,
+        default_impact_mode,
+        verify_impact,
+    )
+
+    if args.impact:
+        impact_mode: Optional[str] = MODE_PRUNE
+    elif args.no_impact:
+        impact_mode = MODE_CHECK
+    else:
+        impact_mode = default_impact_mode()
+    impact = None
+    if impact_mode is not None:
+        from ..analysis.impact import PlanStore
+
+        try:
+            impact = build_batch_impact(
+                jobs, store=PlanStore(args.impact_store)
+            )
+        except JobError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     options = BatchOptions(
         jobs=args.jobs,
         timeout_s=args.timeout,
@@ -136,6 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         store=store,
         fault_plan=fault_plan,
         snapshot=args.snapshot,
+        impact=impact if impact_mode == MODE_PRUNE else None,
     )
     try:
         report = run_batch(jobs, options, batch=batch)
@@ -143,13 +197,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.render_table())
+    violations: List[str] = []
+    if impact is not None and impact_mode == MODE_CHECK:
+        violations = verify_impact(report, impact)
+        for violation in violations:
+            print(f"impact violation: {violation}", file=sys.stderr)
     if args.report:
-        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        document = report.to_dict()
+        if impact is not None:
+            document["impact"] = {
+                "mode": impact_mode,
+                "plans": impact.digests(),
+                "violations": violations,
+            }
+        payload = json.dumps(document, indent=2, sort_keys=True)
         if args.report == "-":
             print(payload)
         else:
             with open(args.report, "w") as handle:
                 handle.write(payload + "\n")
+    if violations:
+        return 3
     return 0 if report.ok else 1
 
 

@@ -50,6 +50,7 @@ STATUS_CACHED = "cached"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
 STATUS_SKIPPED = "skipped-dependency"
+STATUS_SKIPPED_UNAFFECTED = "skipped-unaffected"
 
 #: Every status :func:`repro.service.scheduler.run_batch` can report.
 STATUSES = (
@@ -58,6 +59,7 @@ STATUSES = (
     STATUS_FAILED,
     STATUS_TIMEOUT,
     STATUS_SKIPPED,
+    STATUS_SKIPPED_UNAFFECTED,
 )
 
 

@@ -36,7 +36,17 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
-from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from ..obs import span
 from .faults import CRASH_EXIT_CODE, FaultPlan, JobTimeout, WorkerCrash
@@ -46,6 +56,7 @@ from .job import (
     STATUS_FAILED,
     STATUS_OK,
     STATUS_SKIPPED,
+    STATUS_SKIPPED_UNAFFECTED,
     STATUS_TIMEOUT,
     JobError,
     RepairJob,
@@ -53,6 +64,9 @@ from .job import (
 )
 from .store import ResultStore
 from .graph import toposort
+
+if TYPE_CHECKING:  # pragma: no cover — type-only import (avoids a cycle)
+    from .planner import BatchImpact
 
 #: Environment variable giving the default worker-pool width.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -85,6 +99,11 @@ class BatchOptions:
     #: Snapshot pack for warm-starting workers (see
     #: :mod:`repro.kernel.snapshot`); None disables snapshot boots.
     snapshot: Optional[str] = None
+    #: Change-impact plans for the batch (see
+    #: :mod:`repro.service.planner`); when set, jobs whose targets the
+    #: plan certifies ``unaffected`` complete as ``skipped-unaffected``
+    #: without dispatching a worker.
+    impact: Optional["BatchImpact"] = None
 
     def __post_init__(self) -> None:
         if self.jobs <= 0:
@@ -101,10 +120,17 @@ class JobOutcome:
     wall_time_s: float = 0.0
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    #: Evidence for an impact skip: verdict, RA code, evidence digest,
+    #: and the digest of the plan that licensed it.
+    impact: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
-        return self.status in (STATUS_OK, STATUS_CACHED)
+        return self.status in (
+            STATUS_OK,
+            STATUS_CACHED,
+            STATUS_SKIPPED_UNAFFECTED,
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -117,6 +143,8 @@ class JobOutcome:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.impact is not None:
+            out["impact"] = self.impact
         if self.result is not None:
             out["new_name"] = self.result.get("new_name")
             out["result_digest"] = result_digest(self.result)
@@ -445,6 +473,23 @@ def run_batch(
     busy_s = 0.0
     started = time.perf_counter()
 
+    def resolve_impact(job: RepairJob) -> bool:
+        """Skip a job the plan certifies ``unaffected`` (with evidence)."""
+        if options.impact is None:
+            return False
+        evidence = options.impact.skippable(job)
+        if evidence is None:
+            return False
+        state.complete(
+            JobOutcome(
+                job=job,
+                status=STATUS_SKIPPED_UNAFFECTED,
+                attempts=0,
+                impact=evidence,
+            )
+        )
+        return True
+
     def resolve_from_store(job: RepairJob) -> bool:
         if store is None or options.refresh:
             return False
@@ -543,6 +588,8 @@ def run_batch(
                 report.max_queue_depth = max(
                     report.max_queue_depth, len(state.ready) + 1
                 )
+                if resolve_impact(job):
+                    continue
                 if resolve_from_store(job):
                     continue
                 attempt = 0
@@ -579,6 +626,8 @@ def run_batch(
                         else:
                             job = state.ready.popleft()
                             attempt = 0
+                            if resolve_impact(job):
+                                continue
                             if resolve_from_store(job):
                                 continue
                         report.max_queue_depth = max(

@@ -1,0 +1,94 @@
+"""Synthetic wide environments for impact benchmarks and soak tests.
+
+A termgen-style generator in spirit, but deterministic and importable
+by hermetic subprocess workers (it lives in ``src``, not ``tests``):
+the quickstart list development plus a long chain of ``nat``
+arithmetic definitions that never touch ``list``.  Against the
+quickstart configuration (``list`` → ``New.list``) almost every
+definition is provably unaffected — the shape the change-impact
+planner exists for, and the shape real developments have (one type
+changes; most of the library doesn't care).
+
+``wide.d0 = S O``, ``wide.d{i} = add wide.d{i-1} (S O)`` — a chain, so
+the reverse-dependency graph is deep as well as wide and the taint
+fixpoint's transitive reasoning is actually exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..kernel.env import Environment
+from .job import RepairJob, fingerprint_source
+
+_HERE = "repro.service.synth"
+
+#: Unaffected chain length of the benchmark environment.
+WIDE_WIDTH = 48
+
+#: Chain length of the small variant (fast tests).
+SMALL_WIDTH = 10
+
+#: Affected targets every wide batch repairs alongside the chain.
+AFFECTED_TARGETS = ("rev", "app", "rev_app_distr")
+
+
+def _build_wide(width: int) -> Environment:
+    from ..cases.quickstart import setup_environment
+    from ..syntax.parser import parse
+
+    env = setup_environment()
+    previous = "(S O)"
+    for i in range(width):
+        name = f"wide.d{i}"
+        env.define(name, parse(env, f"add {previous} (S O)"))
+        previous = name
+    return env
+
+
+def wide_env() -> Environment:
+    """The benchmark environment: quickstart + a 48-link nat chain."""
+    return _build_wide(WIDE_WIDTH)
+
+
+def wide_env_small() -> Environment:
+    """A 10-link variant for fast tests."""
+    return _build_wide(SMALL_WIDTH)
+
+
+def _setup_ref(small: bool) -> str:
+    return f"{_HERE}:wide_env_small" if small else f"{_HERE}:wide_env"
+
+
+def wide_jobs(
+    small: bool = False, fingerprint: bool = True
+) -> List[RepairJob]:
+    """One job per chain definition plus the affected quickstart targets.
+
+    Every job repairs against the quickstart configuration, so a sound
+    impact plan certifies exactly the ``wide.d*`` chain unaffected and
+    the ``list``-involved targets not.
+    """
+    setup = _setup_ref(small)
+    width = SMALL_WIDTH if small else WIDE_WIDTH
+    env_fingerprint = fingerprint_source(setup) if fingerprint else ""
+    jobs: List[RepairJob] = []
+
+    def spec(target: str) -> Dict[str, Any]:
+        return {
+            "name": f"wide/{target}",
+            "setup": setup,
+            "target": target,
+            "config": {"kind": "auto", "a": "list", "b": "New.list"},
+            "old": ["list"],
+            "rename": {"kind": "prefix", "value": "New."},
+            "env_fingerprint": env_fingerprint,
+        }
+
+    for i in range(width):
+        jobs.append(
+            RepairJob.from_dict(spec(f"wide.d{i}"), where=f"wide.d{i}")
+        )
+    for target in AFFECTED_TARGETS:
+        jobs.append(RepairJob.from_dict(spec(target), where=target))
+    return jobs

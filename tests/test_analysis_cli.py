@@ -2,7 +2,10 @@
 
 import json
 
+import pytest
+
 from repro.analysis.cli import CASES, main, run_target
+from repro.analysis.diagnostics import Diagnostic, Report, Severity
 
 
 class TestMain:
@@ -37,3 +40,82 @@ class TestRunTarget:
         assert not report.has_errors
         document = report.to_dict()
         assert {"diagnostics", "summary"} <= set(document)
+
+
+class TestSelectIgnore:
+    """``--select``/``--ignore`` filters and the JSON exit classification.
+
+    The committed case studies analyze clean, so these run against a
+    stubbed target report with one error and one info diagnostic.
+    """
+
+    @pytest.fixture(autouse=True)
+    def synthetic_target(self, monkeypatch):
+        def fake_run_target(name):
+            report = Report()
+            report.add(
+                Diagnostic(
+                    code="RA101",
+                    severity=Severity.ERROR,
+                    message="residual",
+                    subject="t",
+                )
+            )
+            report.add(
+                Diagnostic(
+                    code="RA401",
+                    severity=Severity.INFO,
+                    message="unaffected",
+                    subject="t",
+                )
+            )
+            return report
+
+        monkeypatch.setattr(
+            "repro.analysis.cli.run_target", fake_run_target
+        )
+
+    def _document(self, capsys, *argv):
+        code = main(["--json", "--case", "quickstart", *argv])
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_unfiltered_errors_classify_the_exit(self, capsys):
+        code, document = self._document(capsys)
+        assert code == 1 and document["exit_code"] == 1
+        diags = document["targets"]["quickstart"]["diagnostics"]
+        assert [(d["code"], d["exit_error"]) for d in diags] == [
+            ("RA101", True),
+            ("RA401", False),
+        ]
+
+    def test_select_keeps_only_named_codes(self, capsys):
+        code, document = self._document(capsys, "--select", "RA401")
+        assert code == 0 and document["exit_code"] == 0
+        diags = document["targets"]["quickstart"]["diagnostics"]
+        assert [d["code"] for d in diags] == ["RA401"]
+        assert document["summary"]["error"] == 0
+
+    def test_ignore_drops_named_codes(self, capsys):
+        code, document = self._document(capsys, "--ignore", "RA101")
+        assert code == 0
+        diags = document["targets"]["quickstart"]["diagnostics"]
+        assert [d["code"] for d in diags] == ["RA401"]
+
+    def test_select_and_ignore_compose(self, capsys):
+        code, document = self._document(
+            capsys, "--select", "RA101", "--select", "RA401",
+            "--ignore", "RA101",
+        )
+        assert code == 0
+        diags = document["targets"]["quickstart"]["diagnostics"]
+        assert [d["code"] for d in diags] == ["RA401"]
+
+    def test_unknown_code_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--select", "RA999"])
+        assert "unknown diagnostic code" in capsys.readouterr().err
+
+    def test_text_mode_applies_the_filters_too(self, capsys):
+        assert main(["--case", "quickstart", "--ignore", "RA101"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out

@@ -75,6 +75,32 @@ class TestFindResiduals:
         assert [d.code for d in diags] == ["RA101"]
         assert diags[0].severity is Severity.ERROR
 
+    def test_allowed_subject_downgrades_its_own_direct_mentions(self, env):
+        # An int_to_Zp-style equivalence constant must name the old type
+        # directly; when the analyzed *subject* is itself allowlisted,
+        # those hits are expected bridging, not residuals.
+        diags = find_residuals(
+            env,
+            Ind("list"),
+            ["list"],
+            allow=frozenset({"equiv_fn"}),
+            subject="equiv_fn",
+        )
+        assert [d.code for d in diags] == ["RA101"]
+        assert diags[0].severity is Severity.INFO
+        assert "allowed configuration constant" in diags[0].message
+
+    def test_unallowed_subject_direct_mentions_stay_errors(self, env):
+        diags = find_residuals(
+            env,
+            Ind("list"),
+            ["list"],
+            allow=frozenset({"other_helper"}),
+            subject="equiv_fn",
+        )
+        assert [d.code for d in diags] == ["RA101"]
+        assert diags[0].severity is Severity.ERROR
+
     def test_path_points_into_the_term(self, env):
         term = App(Const("length"), Sort(0))
         diags = find_residuals(env, term, ["list"])

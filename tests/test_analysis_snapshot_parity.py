@@ -1,0 +1,74 @@
+"""Static analysis is boot-path independent: snapshot == scratch.
+
+Warm-started workers analyze environments restored via
+``Environment.from_parts`` from a snapshot pack, while everything else
+builds them by re-running the setup script.  Both boots must be
+invisible to the analysis layer: for every six-case-batch environment,
+the change-impact plan and the residual sweep over a snapshot-booted
+environment are identical — digest for digest, diagnostic for
+diagnostic — to the scratch ones.
+"""
+
+import pytest
+
+from repro.analysis.impact import _six_case_setups, build_plan
+from repro.analysis.residual import find_residuals
+from repro.kernel.snapshot import (
+    build_pack_from_refs,
+    decode_pack,
+    encode_pack,
+)
+from repro.service.worker import build_environment
+
+SETUPS = _six_case_setups()
+
+
+def _pair(setup):
+    """(scratch env, snapshot-booted env) for one setup reference."""
+    scratch = build_environment(setup)
+    pack = decode_pack(encode_pack(build_pack_from_refs([setup])))
+    return scratch, pack.get(setup).build_env()
+
+
+def _residual_sweep(env, old, allow):
+    """Every residual diagnostic over every constant body, rendered."""
+    out = []
+    for name in env.declaration_order():
+        if env.has_inductive(name):
+            continue
+        decl = env.constant(name)
+        if decl.body is None:
+            continue
+        out.extend(
+            d.to_dict()
+            for d in find_residuals(
+                env,
+                decl.body,
+                old,
+                allow=frozenset(allow),
+                subject=name,
+            )
+        )
+    return out
+
+
+def test_six_case_setups_are_the_expected_shape():
+    assert len(SETUPS) >= 6
+    for setup, old, allow in SETUPS:
+        assert ":" in setup
+        assert old
+
+
+@pytest.mark.parametrize(
+    "setup,old,allow", SETUPS, ids=[s[0].split(":")[-1] for s in SETUPS]
+)
+def test_snapshot_booted_analysis_matches_scratch(setup, old, allow):
+    scratch, warm = _pair(setup)
+    assert warm.declaration_order() == scratch.declaration_order()
+    scratch_plan = build_plan(scratch, old, allow, fingerprint="parity")
+    warm_plan = build_plan(warm, old, allow, fingerprint="parity")
+    assert warm_plan.digest == scratch_plan.digest
+    assert warm_plan.to_dict() == scratch_plan.to_dict()
+    assert _residual_sweep(warm, old, allow) == _residual_sweep(
+        scratch, old, allow
+    )

@@ -104,6 +104,37 @@ def test_missing_required_reports_absent_phases_in_order():
     ) == ["cold_start/snapshot", "warm/jobs1"]
 
 
+def test_missing_required_glob_needs_at_least_one_match():
+    current = _report(
+        {"impact/plan": _entry(0.1), "impact/pruned": _entry(0.2)}
+    )
+    assert missing_required(current, ["impact/*"]) == []
+    assert missing_required(current, ["cold_start/*"]) == ["cold_start/*"]
+    # A glob is not a substring test: it must match the full phase name.
+    assert missing_required(current, ["impact"]) == ["impact"]
+    assert missing_required(current, ["plan*"]) == ["plan*"]
+
+
+def test_require_phase_glob_through_main(tmp_path, capsys):
+    current = _write_report(
+        tmp_path / "current.json",
+        {"cold/jobs1": _entry(1.0), "impact/pruned": _entry(0.2)},
+    )
+    baseline = _write_report(
+        tmp_path / "baseline.json", {"cold/jobs1": _entry(1.0)}
+    )
+    argv = ["check_regression.py", current, baseline, "--require-phase", "impact/*"]
+    assert main(argv) == 0
+    capsys.readouterr()
+    stripped = _write_report(
+        tmp_path / "stripped.json", {"cold/jobs1": _entry(1.0)}
+    )
+    argv[1] = stripped
+    assert main(argv) == 1
+    err = capsys.readouterr().err
+    assert "impact/*" in err and "required phase" in err
+
+
 def _write_report(path, phases):
     payload = {
         "schema_version": 1,
