@@ -13,8 +13,19 @@ Phases (shared schema, :mod:`report_schema`)::
     warm/jobs1                           # same store as cold/jobs1 => cached
     cold_start/scratch                   # storeless batch, scratch boots
     cold_start/snapshot                  # same batch, snapshot-pack boots
+    warm_pool/cold                       # persistent pool, first (boot) pass
+    warm_pool/jobs1, /jobs2, /jobs4      # same pool, every env resident
 
 plus a ``scaling`` extra with the ``jobsN / jobs1`` wall-time ratios.
+The ``warm_pool`` family runs the batch twice per width on one
+persistent :class:`~repro.service.pool.WorkerPool` — the first pass
+pays interpreter + import + boot once per worker, the second measures
+the steady state the pool exists for.  The width-1 warm pass is gated
+hard: every job must report ``env_boot == "warm"``, every
+``result_digest`` must be byte-identical to its scratch-boot subprocess
+twin, and its wall time must be at most ``--max-warm-pool-ratio``
+(default 0.5) of ``cold_start/scratch`` — both sides serial, so this
+gate holds on single-core boxes too.
 The ``cold_start`` pair measures worker environment boots in isolation:
 both run the identical eight-job batch through subprocess workers with
 no result store, differing only in whether a snapshot pack (see
@@ -91,8 +102,23 @@ def _phase(report: Any, width: int) -> Dict[str, Any]:
     }
 
 
-def _run_cold_start(jobs: List[Any], tmp: str) -> Dict[str, Dict[str, Any]]:
-    """The ``cold_start/*`` phases: scratch vs snapshot worker boots."""
+def _require_ok(report: Any, what: str) -> None:
+    bad = [o for o in report.outcomes if not o.ok]
+    if bad:
+        raise RuntimeError(
+            "%s batch failed: %s"
+            % (what, ", ".join(f"{o.job.name}={o.status}" for o in bad))
+        )
+
+
+def _run_cold_start(
+    jobs: List[Any], tmp: str
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, str]]:
+    """The ``cold_start/*`` phases: scratch vs snapshot worker boots.
+
+    Also returns the per-job scratch ``result_digest`` table — the
+    reference the ``warm_pool`` parity gate compares against.
+    """
     from repro.service.job import result_digest
     from repro.service.warmup import ensure_batch_snapshot
 
@@ -108,12 +134,7 @@ def _run_cold_start(jobs: List[Any], tmp: str) -> Dict[str, Dict[str, Any]]:
             runner=subprocess_runner(snapshot=snapshot),
             batch=f"six-cases/cold_start-{mode}",
         )
-        bad = [o for o in report.outcomes if not o.ok]
-        if bad:
-            raise RuntimeError(
-                "cold_start/%s batch failed: %s"
-                % (mode, ", ".join(f"{o.job.name}={o.status}" for o in bad))
-            )
+        _require_ok(report, f"cold_start/{mode}")
         runs[mode] = report
     boots = {
         o.job.name: o.result.get("env_boot")
@@ -131,10 +152,79 @@ def _run_cold_start(jobs: List[Any], tmp: str) -> Dict[str, Dict[str, Any]]:
                 f"snapshot boot changed the repair output of "
                 f"{cold.job.name} — scratch and snapshot digests differ"
             )
-    return {
+    phases = {
         f"cold_start/{mode}": _phase(report, 1)
         for mode, report in runs.items()
     }
+    digests = {
+        o.job.name: result_digest(o.result)
+        for o in runs["scratch"].outcomes
+    }
+    return phases, digests
+
+
+def _run_warm_pool(
+    jobs: List[Any], scratch_digests: Dict[str, str]
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, Any]]:
+    """The ``warm_pool/*`` phases: persistent workers, cold then warm.
+
+    Per width, one :class:`WorkerPool` serves the batch twice: the
+    first pass boots (interpreter + imports + env, amortized), the
+    second measures steady-state warm serving.  The width-1 warm pass
+    is the gated one — serial on both sides of the comparison, every
+    environment resident, so it must be all-``warm`` and byte-identical
+    to the scratch subprocess run.  Wider warm passes are recorded for
+    scaling but not gated: which worker a job lands on is not
+    deterministic, so some may still boot.
+    """
+    from repro.service import WorkerPool
+    from repro.service.job import result_digest
+
+    phases: Dict[str, Dict[str, Any]] = {}
+    pool_stats: Dict[str, Any] = {}
+    for width in WIDTHS:
+        with WorkerPool(width) as pool:
+            cold = run_batch(
+                jobs,
+                BatchOptions(jobs=width, timeout_s=600, backoff_s=0.0),
+                runner=pool.runner(),
+                batch=f"six-cases/warm_pool-cold-jobs{width}",
+            )
+            _require_ok(cold, f"warm_pool cold jobs={width}")
+            warm = run_batch(
+                jobs,
+                BatchOptions(jobs=width, timeout_s=600, backoff_s=0.0),
+                runner=pool.runner(),
+                batch=f"six-cases/warm_pool-jobs{width}",
+            )
+            _require_ok(warm, f"warm_pool warm jobs={width}")
+            if width == 1:
+                phases["warm_pool/cold"] = _phase(cold, width)
+                not_warm = sorted(
+                    o.job.name
+                    for o in warm.outcomes
+                    if o.result.get("env_boot") != "warm"
+                )
+                if not_warm:
+                    raise RuntimeError(
+                        "warm_pool/jobs1 jobs re-booted despite a warmed "
+                        "pool: " + ", ".join(not_warm)
+                    )
+                mismatched = sorted(
+                    o.job.name
+                    for o in warm.outcomes
+                    if result_digest(o.result)
+                    != scratch_digests[o.job.name]
+                )
+                if mismatched:
+                    raise RuntimeError(
+                        "warm pool changed repair output (digest differs "
+                        "from the scratch subprocess run): "
+                        + ", ".join(mismatched)
+                    )
+                pool_stats = pool.stats()
+            phases[f"warm_pool/jobs{width}"] = _phase(warm, width)
+    return phases, pool_stats
 
 
 def check_transparency() -> None:
@@ -204,7 +294,10 @@ def build_report() -> Tuple[dict, dict]:
             )
         entry = _phase(warm, 1)
         phases["warm/jobs1"] = entry
-        phases.update(_run_cold_start(jobs, tmp))
+        cold_start_phases, scratch_digests = _run_cold_start(jobs, tmp)
+        phases.update(cold_start_phases)
+        warm_pool_phases, pool_stats = _run_warm_pool(jobs, scratch_digests)
+        phases.update(warm_pool_phases)
     scaling = {
         f"jobs{width}_vs_jobs1": round(walls[width] / max(walls[1], 1e-9), 4)
         for width in WIDTHS
@@ -218,12 +311,22 @@ def build_report() -> Tuple[dict, dict]:
         / max(phases["cold_start/scratch"]["wall_time_s"], 1e-9),
         4,
     )
+    # Warm pool vs the per-attempt subprocess mode, both serial and
+    # storeless — the amortization the pool exists to buy.
+    scratch_wall = max(phases["cold_start/scratch"]["wall_time_s"], 1e-9)
+    scaling["warm_pool_vs_subprocess"] = round(
+        phases["warm_pool/jobs1"]["wall_time_s"] / scratch_wall, 4
+    )
+    scaling["warm_pool_cold_vs_subprocess"] = round(
+        phases["warm_pool/cold"]["wall_time_s"] / scratch_wall, 4
+    )
     report = make_report(
         "service",
         phases,
         scaling=scaling,
         worker_utilization=utilization,
         cpus=usable_cpus(),
+        pool=pool_stats,
     )
     return report, scaling
 
@@ -257,6 +360,15 @@ def main(argv) -> int:
         help="fail when cold_start/snapshot exceeds this fraction of "
         "cold_start/scratch (0 disables the check; default: 1.0 — a "
         "snapshot boot must never lose to a scratch boot)",
+    )
+    parser.add_argument(
+        "--max-warm-pool-ratio",
+        type=float,
+        default=0.5,
+        help="fail when warm_pool/jobs1 exceeds this fraction of "
+        "cold_start/scratch (0 disables the check; default: 0.5 — warm "
+        "per-job wall must be at most half the per-attempt subprocess "
+        "mode; both sides serial, so no CPU-count escape hatch)",
     )
     args = parser.parse_args(argv[1:])
 
@@ -293,6 +405,15 @@ def main(argv) -> int:
             f"bench_service_report: cold_start/snapshot is {snap_ratio}x "
             f"of cold_start/scratch (limit {args.max_snapshot_ratio}) — "
             "snapshot boots are not paying for themselves",
+            file=sys.stderr,
+        )
+        return 1
+    pool_ratio = scaling["warm_pool_vs_subprocess"]
+    if args.max_warm_pool_ratio and pool_ratio > args.max_warm_pool_ratio:
+        print(
+            f"bench_service_report: warm_pool/jobs1 is {pool_ratio}x of "
+            f"cold_start/scratch (limit {args.max_warm_pool_ratio}) — "
+            "warm workers are not amortizing boot cost",
             file=sys.stderr,
         )
         return 1

@@ -100,9 +100,38 @@ class ReductionCache:
     def clear(self) -> None:
         self._store.clear()
 
+    def snapshot_store(self) -> Dict[tuple, object]:
+        """A shallow copy of the store (keys/values shared, dict owned).
+
+        Entries are immutable once stored, so a shallow copy is a full
+        logical snapshot; :meth:`restore_store` installs one.
+        """
+        return dict(self._store)
+
+    def restore_store(self, store: Dict[tuple, object]) -> None:
+        """Replace the store with a copy of ``store`` (see
+        :meth:`snapshot_store`); the argument stays reusable."""
+        self._store = dict(store)
+
     @property
     def size(self) -> int:
         return len(self._store)
+
+
+@dataclass(frozen=True)
+class EnvCheckpoint:
+    """An opaque rollback token from :meth:`Environment.checkpoint`.
+
+    Captures how many globals were declared, how many *destructive*
+    mutations (``redefine``/``remove``) the environment had seen, and a
+    shallow snapshot of the reduction-cache store.  Valid for
+    :meth:`Environment.rollback` only while every change since it was
+    taken has been additive.
+    """
+
+    depth: int
+    destructive: int
+    cache_store: Dict[tuple, object]
 
 
 @dataclass(frozen=True)
@@ -127,6 +156,7 @@ class Environment:
         self._inductives: Dict[str, InductiveDecl] = {}
         self._decl_order: List[str] = []
         self._revision: int = 0
+        self._destructive: int = 0
         self._refs_memo: Optional[
             Tuple[int, Dict[str, FrozenSet[str]]]
         ] = None
@@ -224,6 +254,53 @@ class Environment:
         """Record a declaration change (invalidates shape-keyed memos)."""
         self._revision += 1
         self._refs_memo = None
+
+    # -- Checkpoint / rollback ----------------------------------------------
+
+    def checkpoint(self) -> EnvCheckpoint:
+        """A rollback token for the environment's current state.
+
+        Cheap to take: declarations are counted (not copied) and the
+        reduction-cache snapshot shares its keys and values.  Warm
+        workers (:mod:`repro.service.worker`) take one per job so a
+        long-lived environment can serve many hermetic repairs.
+        """
+        return EnvCheckpoint(
+            depth=len(self._decl_order),
+            destructive=self._destructive,
+            cache_store=self.reduction_cache.snapshot_store(),
+        )
+
+    def rollback(self, mark: EnvCheckpoint) -> Tuple[str, ...]:
+        """Undo every declaration made since ``mark``; return their names.
+
+        Sound only for *additive* history: ``define``, ``assume``, and
+        ``declare_inductive`` append, so dropping the tail of the
+        declaration order restores the exact prior environment, and the
+        reduction cache is reset to its snapshot (entries cached since
+        the mark may mention the dropped globals).  ``redefine`` or
+        ``remove`` since the mark would make the tail-drop unsound, so
+        rollback refuses with :class:`EnvError` — callers should discard
+        the environment and rebuild instead.
+        """
+        if mark.destructive != self._destructive:
+            raise EnvError(
+                "cannot roll back: the environment saw redefine/remove "
+                "after the checkpoint"
+            )
+        if len(self._decl_order) < mark.depth:
+            raise EnvError(
+                "cannot roll back: the checkpoint is ahead of this "
+                "environment"
+            )
+        added = tuple(self._decl_order[mark.depth:])
+        for name in added:
+            self._constants.pop(name, None)
+            self._inductives.pop(name, None)
+        del self._decl_order[mark.depth:]
+        self.reduction_cache.restore_store(mark.cache_store)
+        self._mutated()
+        return added
 
     # -- Restore ------------------------------------------------------------
 
@@ -343,6 +420,7 @@ class Environment:
         self._constants[name] = decl
         # The old body may be baked into cached reductions; drop them.
         self.reduction_cache.clear()
+        self._destructive += 1
         self._mutated()
         return decl
 
@@ -353,6 +431,7 @@ class Environment:
         if name in self._decl_order:
             self._decl_order.remove(name)
         self.reduction_cache.clear()
+        self._destructive += 1
         self._mutated()
 
     # -- Internal helpers ---------------------------------------------------

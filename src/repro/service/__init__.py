@@ -13,8 +13,13 @@ This package turns :mod:`repro.core.repair` into a job service:
 * :mod:`~repro.service.scheduler` — :func:`run_batch`: the
   dependency-aware scheduler, worker pool, retry/timeout semantics, and
   per-batch report;
-* :mod:`~repro.service.worker` — the hermetic per-job executor
-  (``python -m repro.service.worker``);
+* :mod:`~repro.service.worker` — the per-job executor
+  (``python -m repro.service.worker``), one-shot or persistent
+  (``--serve``);
+* :mod:`~repro.service.pool` — the persistent warm-worker pool
+  (boot once, serve many jobs over the framed protocol);
+* :mod:`~repro.service.proto` — length-prefixed JSON framing for the
+  worker wire protocol;
 * :mod:`~repro.service.store` — the persistent content-addressed
   result store;
 * :mod:`~repro.service.faults` — deterministic fault injection;
@@ -52,6 +57,13 @@ from .planner import (
     default_impact_mode,
     verify_impact,
 )
+from .pool import (
+    MAX_JOBS_ENV_VAR,
+    POOL_ENV_VAR,
+    WorkerPool,
+    default_max_jobs,
+    default_pool,
+)
 from .scheduler import (
     JOBS_ENV_VAR,
     BatchOptions,
@@ -77,6 +89,8 @@ __all__ = [
     "JobOutcome",
     "JobTimeout",
     "LIVE_SETUP",
+    "MAX_JOBS_ENV_VAR",
+    "POOL_ENV_VAR",
     "RepairJob",
     "ResultStore",
     "STATUS_CACHED",
@@ -88,9 +102,12 @@ __all__ = [
     "STATUSES",
     "STORE_ENV_VAR",
     "WorkerCrash",
+    "WorkerPool",
     "build_batch_impact",
     "default_impact_mode",
     "default_jobs",
+    "default_max_jobs",
+    "default_pool",
     "default_store_dir",
     "fingerprint_env",
     "fingerprint_source",

@@ -75,6 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="retry budget for crashed workers (default: 2)",
     )
+    pool_group = parser.add_mutually_exclusive_group()
+    pool_group.add_argument(
+        "--pool",
+        dest="pool",
+        action="store_true",
+        default=None,
+        help=(
+            "serve parallel batches from the persistent warm-worker "
+            "pool (default: $REPRO_POOL, on when unset)"
+        ),
+    )
+    pool_group.add_argument(
+        "--no-pool",
+        dest="pool",
+        action="store_false",
+        help="launch one hermetic worker subprocess per attempt instead",
+    )
     parser.add_argument(
         "--snapshot",
         default=None,
@@ -190,6 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         fault_plan=fault_plan,
         snapshot=args.snapshot,
         impact=impact if impact_mode == MODE_PRUNE else None,
+        pool=args.pool,
     )
     try:
         report = run_batch(jobs, options, batch=batch)

@@ -1,0 +1,470 @@
+"""The persistent warm-worker pool.
+
+:class:`WorkerPool` keeps up to ``width`` long-lived
+``python -m repro.service.worker --serve`` processes.  Each worker pays
+interpreter startup, the ``repro`` import graph, and (per setup) one
+environment boot exactly once, then serves many jobs over the framed
+stdin/stdout protocol of :mod:`repro.service.proto` — warm jobs skip
+boot entirely, which is where the per-job wall time goes on small
+repairs.
+
+Lifecycle, from the scheduler's point of view:
+
+* **lazy spawn** — workers are created on demand, never ahead of it; a
+  batch of three jobs on an eight-wide pool starts three processes;
+* **timeout** — a job that misses its deadline gets its worker's whole
+  process group SIGKILLed (workers run ``start_new_session``, so
+  children they spawned die too) and surfaces as
+  :class:`~repro.service.faults.JobTimeout`; only the stuck worker is
+  lost, the rest of the pool keeps serving;
+* **crash** — a worker that dies mid-job (injected crash, OOM kill,
+  segfault) surfaces as :class:`~repro.service.faults.WorkerCrash`,
+  which the scheduler retries on a fresh worker; idle workers are
+  untouched;
+* **stale retire** — a worker whose resident environment no longer
+  matches a job's env fingerprint answers ``stale``; the pool retires
+  it (a fresh process re-imports the edited setup module; re-importing
+  in-process would fight ``importlib`` caching) and re-dispatches,
+  bounded by :data:`STALE_BOUNCES`;
+* **recycle** — after :func:`default_max_jobs` jobs a worker is
+  gracefully replaced, bounding any slow memory growth;
+* **drain** — :meth:`WorkerPool.shutdown` sends every idle worker a
+  ``shutdown`` frame, waits briefly, and hard-kills stragglers.
+
+The pool is POSIX-only (``select`` on pipes, ``killpg``), like the
+fault machinery it extends.  Everything here is thread-safe: the
+scheduler drives one pool from many executor threads.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import IO, Any, Callable, Deque, Dict, List, Optional
+
+from .faults import CRASH_EXIT_CODE, FaultPlan, JobTimeout, WorkerCrash
+from .proto import FrameStream, FrameTimeout, ProtocolError, StreamClosed
+
+#: Environment variable toggling the warm pool for parallel batches
+#: ("0"/"false"/"no"/"off" disable it; anything else, or unset, enables).
+POOL_ENV_VAR = "REPRO_POOL"
+
+#: Environment variable bounding jobs served per worker before recycle.
+MAX_JOBS_ENV_VAR = "REPRO_POOL_MAX_JOBS"
+
+#: Default recycle threshold when ``$REPRO_POOL_MAX_JOBS`` is unset.
+DEFAULT_MAX_JOBS = 64
+
+#: How many consecutive ``stale`` answers one job may bounce through
+#: before the pool gives up and reports a crash (each bounce retires a
+#: worker and spawns a fresh one, which sees the current source).
+STALE_BOUNCES = 2
+
+#: Grace period for a retiring worker to exit after its shutdown frame.
+_DRAIN_GRACE_S = 5.0
+
+_FALSY = ("0", "false", "no", "off")
+
+
+def default_pool() -> bool:
+    """Whether parallel batches use the warm pool by default.
+
+    ``$REPRO_POOL`` set to a falsy word disables it; unset or anything
+    else enables it.
+    """
+    raw = os.environ.get(POOL_ENV_VAR)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _FALSY
+
+
+def default_max_jobs() -> int:
+    """``$REPRO_POOL_MAX_JOBS`` when a positive int, else the default."""
+    raw = os.environ.get(MAX_JOBS_ENV_VAR, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_MAX_JOBS
+    return value if value >= 1 else DEFAULT_MAX_JOBS
+
+
+def worker_environ(
+    fault_plan: Optional[FaultPlan] = None,
+    snapshot: Optional[str] = None,
+) -> Dict[str, str]:
+    """The environment for a worker subprocess: import path + knobs."""
+    import repro
+
+    environ = dict(os.environ)
+    src_dir = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__))
+    )
+    existing = environ.get("PYTHONPATH", "")
+    parts = [src_dir] + ([existing] if existing else [])
+    environ["PYTHONPATH"] = os.pathsep.join(parts)
+    if fault_plan is not None:
+        environ["REPRO_FAULT_PLAN"] = fault_plan.to_env()
+    if snapshot is not None:
+        environ["REPRO_SNAPSHOT"] = snapshot
+    return environ
+
+
+def kill_process_group(process: "subprocess.Popen[Any]") -> None:
+    """SIGKILL a worker's whole process group, then reap it.
+
+    Workers are spawned with ``start_new_session=True`` so their pid is
+    their pgid — ``killpg`` takes down any children the worker spawned,
+    which a bare ``process.kill()`` would leak.  Falls back to
+    ``kill()`` when the group is already gone.
+    """
+    try:
+        os.killpg(process.pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError, OSError):
+        try:
+            process.kill()
+        except OSError:
+            pass
+    try:
+        process.wait(timeout=_DRAIN_GRACE_S)
+    except subprocess.TimeoutExpired:  # pragma: no cover — SIGKILL stuck
+        pass
+
+
+class PoolWorker:
+    """One live ``--serve`` worker process plus its framed streams."""
+
+    def __init__(
+        self, environ: Dict[str, str], snapshot: Optional[str] = None
+    ) -> None:
+        args = [sys.executable, "-m", "repro.service.worker", "--serve"]
+        if snapshot is not None:
+            args.extend(["--snapshot", snapshot])
+        self.process: "subprocess.Popen[bytes]" = subprocess.Popen(
+            args,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=environ,
+            start_new_session=True,
+        )
+        assert self.process.stdout is not None
+        self.stream = FrameStream(self.process.stdout.fileno())
+        # stderr is drained only post-mortem (crash diagnostics); keep
+        # it non-blocking so a quiet worker never deadlocks the drain.
+        assert self.process.stderr is not None
+        os.set_blocking(self.process.stderr.fileno(), False)
+        #: Jobs this worker has completed (drives recycling).
+        self.jobs = 0
+
+    @property
+    def _stdin(self) -> IO[bytes]:
+        stdin = self.process.stdin
+        assert stdin is not None
+        return stdin
+
+    def request(
+        self,
+        message: Dict[str, Any],
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Send one framed request; return the worker's framed reply.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant.
+        Raises :class:`~repro.service.proto.FrameTimeout`,
+        :class:`~repro.service.proto.StreamClosed`, or
+        ``BrokenPipeError`` — the caller owns the kill/retire decision.
+        """
+        from .proto import write_frame
+
+        write_frame(self._stdin, message)
+        return self.stream.read_frame(deadline)
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def stderr_tail(self, lines: int = 3) -> str:
+        """The last few stderr lines a dead/dying worker left behind."""
+        stderr = self.process.stderr
+        if stderr is None:
+            return ""
+        chunks: List[bytes] = []
+        while True:
+            try:
+                chunk = os.read(stderr.fileno(), 65536)
+            except (BlockingIOError, OSError, ValueError):
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+        text = b"".join(chunks).decode("utf-8", "replace").strip()
+        return "; ".join(text.splitlines()[-lines:]) if text else ""
+
+    def retire(self) -> None:
+        """Graceful exit: shutdown frame, short wait, then hard kill."""
+        from .proto import write_frame
+
+        try:
+            write_frame(self._stdin, {"op": "shutdown"})
+            self._stdin.close()
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+        try:
+            self.process.wait(timeout=_DRAIN_GRACE_S)
+        except subprocess.TimeoutExpired:
+            kill_process_group(self.process)
+        self._close_pipes()
+
+    def destroy(self) -> None:
+        """Hard kill (process group) and reap; used on timeout/crash."""
+        kill_process_group(self.process)
+        self._close_pipes()
+
+    def _close_pipes(self) -> None:
+        for pipe in (
+            self.process.stdin,
+            self.process.stdout,
+            self.process.stderr,
+        ):
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:  # pragma: no cover — close is best-effort
+                    pass
+
+
+class WorkerPool:
+    """Up to ``width`` warm workers behind a thread-safe checkout queue."""
+
+    def __init__(
+        self,
+        width: int,
+        fault_plan: Optional[FaultPlan] = None,
+        snapshot: Optional[str] = None,
+        max_jobs_per_worker: Optional[int] = None,
+    ) -> None:
+        self.width = max(1, int(width))
+        self.max_jobs_per_worker = (
+            max_jobs_per_worker
+            if max_jobs_per_worker and max_jobs_per_worker >= 1
+            else default_max_jobs()
+        )
+        self._snapshot = snapshot
+        self._environ = worker_environ(fault_plan, snapshot)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._idle: Deque[PoolWorker] = deque()
+        self._live = 0
+        self._closed = False
+        self._counts: Dict[str, int] = {
+            "spawned": 0,
+            "recycled": 0,
+            "stale_retired": 0,
+            "timeout_kills": 0,
+            "crashes": 0,
+            "jobs": 0,
+            "warm_jobs": 0,
+            "env_boots": 0,
+        }
+
+    # -- Worker lifecycle --------------------------------------------------
+
+    def _checkout(self) -> PoolWorker:
+        """An idle worker, a fresh spawn, or a wait for one of those."""
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise RuntimeError("worker pool is shut down")
+                if self._idle:
+                    return self._idle.popleft()
+                if self._live < self.width:
+                    self._live += 1
+                    self._counts["spawned"] += 1
+                    break
+                self._cond.wait()
+        try:
+            return PoolWorker(self._environ, self._snapshot)
+        except BaseException:
+            with self._cond:
+                self._live -= 1
+                self._counts["spawned"] -= 1
+                self._cond.notify()
+            raise
+
+    def _checkin(self, worker: PoolWorker) -> None:
+        """Return a healthy worker to the idle queue (or recycle it)."""
+        if worker.jobs >= self.max_jobs_per_worker:
+            self._retire(worker, "recycled")
+            return
+        with self._cond:
+            if not self._closed:
+                self._idle.append(worker)
+                self._cond.notify()
+                return
+        worker.retire()
+        self._release(worker)
+
+    def _retire(self, worker: PoolWorker, count: Optional[str]) -> None:
+        """Gracefully drop one worker, freeing its pool slot."""
+        if count is not None:
+            with self._lock:
+                self._counts[count] += 1
+        worker.retire()
+        self._release(worker)
+
+    def _destroy(self, worker: PoolWorker, count: str) -> None:
+        """Hard-kill one worker (process group), freeing its slot."""
+        with self._lock:
+            self._counts[count] += 1
+        worker.destroy()
+        self._release(worker)
+
+    def _release(self, worker: PoolWorker) -> None:
+        with self._cond:
+            self._live -= 1
+            self._cond.notify()
+
+    def shutdown(self) -> None:
+        """Drain the pool: retire every idle worker, refuse new checkouts.
+
+        Workers currently serving a job are retired by their executor
+        thread at checkin (the closed flag redirects them here), so a
+        shutdown after the batch loop finishes is always complete.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            idle = list(self._idle)
+            self._idle.clear()
+            self._cond.notify_all()
+        for worker in idle:
+            worker.retire()
+            self._release(worker)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    # -- Job execution -----------------------------------------------------
+
+    def run_job(
+        self,
+        payload: Dict[str, Any],
+        attempt: int,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run one attempt on a warm worker; scheduler-compatible errors.
+
+        Timeouts kill (and replace) only the worker that missed the
+        deadline; crashes surface as retryable
+        :class:`~repro.service.faults.WorkerCrash` exactly like the
+        per-attempt subprocess runner's.
+        """
+        target = payload.get("target", "?")
+        bounces = 0
+        while True:
+            worker = self._checkout()
+            deadline = (
+                time.monotonic() + timeout_s
+                if timeout_s is not None and timeout_s > 0
+                else None
+            )
+            request: Dict[str, Any] = {
+                "op": "job",
+                "payload": payload,
+                "attempt": attempt,
+            }
+            if self._snapshot is not None:
+                request["snapshot"] = self._snapshot
+            try:
+                reply = worker.request(request, deadline)
+            except FrameTimeout:
+                self._destroy(worker, "timeout_kills")
+                raise JobTimeout(
+                    f"worker for {target!r} exceeded {timeout_s}s"
+                ) from None
+            except (StreamClosed, BrokenPipeError, OSError):
+                code = worker.process.poll()
+                detail = worker.stderr_tail() or "no stderr"
+                self._destroy(worker, "crashes")
+                kind = (
+                    "crashed"
+                    if code == CRASH_EXIT_CODE
+                    else f"exited {code}"
+                )
+                raise WorkerCrash(
+                    f"warm worker for {target!r} {kind}: {detail}"
+                ) from None
+            except ProtocolError as exc:
+                self._destroy(worker, "crashes")
+                raise WorkerCrash(
+                    f"warm worker for {target!r} broke protocol: {exc}"
+                ) from None
+            op = reply.get("op")
+            if op == "result":
+                record = reply.get("record")
+                if not isinstance(record, dict):
+                    self._destroy(worker, "crashes")
+                    raise WorkerCrash(
+                        f"warm worker for {target!r} sent a result "
+                        "frame with no record"
+                    )
+                worker.jobs += 1
+                with self._lock:
+                    self._counts["jobs"] += 1
+                    if record.get("env_boot") == "warm":
+                        self._counts["warm_jobs"] += 1
+                    elif "env_boot" in record:
+                        self._counts["env_boots"] += 1
+                self._checkin(worker)
+                return record
+            if op == "stale":
+                # The setup module changed under this worker; only a
+                # fresh process (fresh import graph) can serve the job.
+                self._retire(worker, "stale_retired")
+                bounces += 1
+                if bounces > STALE_BOUNCES:
+                    raise WorkerCrash(
+                        f"job for {target!r} bounced off {bounces} "
+                        "stale workers; setup keeps changing"
+                    )
+                continue
+            self._destroy(worker, "crashes")
+            raise WorkerCrash(
+                f"warm worker for {target!r} sent unexpected op {op!r}"
+            )
+
+    def runner(self) -> Callable[
+        [Dict[str, Any], int, Optional[float]], Dict[str, Any]
+    ]:
+        """This pool as a scheduler ``Runner`` (payload, attempt, timeout)."""
+
+        def run(
+            payload: Dict[str, Any],
+            attempt: int,
+            timeout_s: Optional[float],
+        ) -> Dict[str, Any]:
+            return self.run_job(payload, attempt, timeout_s)
+
+        return run
+
+    # -- Introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready lifecycle counters (plus the warm reuse rate)."""
+        with self._lock:
+            counts = dict(self._counts)
+        jobs = counts["jobs"]
+        out: Dict[str, Any] = {"width": self.width}
+        out.update(counts)
+        out["reuse_rate"] = (
+            round(counts["warm_jobs"] / jobs, 4) if jobs else 0.0
+        )
+        return out

@@ -8,11 +8,15 @@ into per-job outcomes:
 2. when a job becomes ready, the persistent store is consulted — a hit
    completes it as ``cached`` without any repair work;
 3. misses are dispatched to the worker pool — a
-   :class:`concurrent.futures.ThreadPoolExecutor` driving one worker
-   *subprocess* per attempt (``--jobs N`` / ``$REPRO_JOBS``), so a
-   crashing worker takes down only its own job, never the pool (the
-   reason this is not a ``ProcessPoolExecutor``: one abrupt child death
-   there poisons every pending future with ``BrokenProcessPool``);
+   :class:`concurrent.futures.ThreadPoolExecutor` whose threads drive
+   either the persistent warm-worker pool
+   (:class:`~repro.service.pool.WorkerPool`, the default for
+   ``--jobs N`` / ``$REPRO_JOBS`` above 1: long-lived workers that boot
+   once and keep their environments resident) or, under ``--no-pool``,
+   one hermetic worker *subprocess* per attempt; either way a crashing
+   worker takes down only its own job, never the pool (the reason this
+   is not a ``ProcessPoolExecutor``: one abrupt child death there
+   poisons every pending future with ``BrokenProcessPool``);
    ``--jobs 1`` uses a deterministic in-process executor instead;
 4. crashes and injected errors are retried with bounded backoff;
    timeouts are reported as ``timeout``; deterministic repair failures
@@ -31,6 +35,7 @@ import os
 import subprocess
 import sys
 import time
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from contextlib import contextmanager
@@ -62,6 +67,13 @@ from .job import (
     RepairJob,
     result_digest,
 )
+from .pool import (
+    WorkerPool,
+    default_pool,
+    kill_process_group,
+    worker_environ,
+)
+from .proto import last_frame
 from .store import ResultStore
 from .graph import toposort
 
@@ -104,10 +116,17 @@ class BatchOptions:
     #: plan certifies ``unaffected`` complete as ``skipped-unaffected``
     #: without dispatching a worker.
     impact: Optional["BatchImpact"] = None
+    #: Serve parallel batches from the persistent warm-worker pool
+    #: (:mod:`repro.service.pool`) instead of one subprocess per
+    #: attempt.  None resolves from ``$REPRO_POOL`` (default on); only
+    #: consulted when ``jobs > 1`` and no explicit runner is passed.
+    pool: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.jobs <= 0:
             self.jobs = default_jobs()
+        if self.pool is None:
+            self.pool = default_pool()
 
 
 @dataclass
@@ -166,6 +185,9 @@ class BatchReport:
     store_misses: int = 0
     max_queue_depth: int = 0
     worker_utilization: float = 0.0
+    #: Warm-pool lifecycle counters (:meth:`WorkerPool.stats`), present
+    #: only when the batch ran on the pool.
+    pool: Optional[Dict[str, Any]] = None
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -190,7 +212,7 @@ class BatchReport:
         raise KeyError(name)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "schema_version": SCHEMA_VERSION,
             "batch": self.batch,
             "jobs": self.jobs,
@@ -205,6 +227,9 @@ class BatchReport:
             "worker_utilization": round(self.worker_utilization, 4),
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
         }
+        if self.pool is not None:
+            out["pool"] = self.pool
+        return out
 
     def render_table(self) -> str:
         """The human-readable per-job summary the CLI prints."""
@@ -225,6 +250,12 @@ class BatchReport:
             f"wall {self.wall_time_s:.3f}s, workers={self.jobs}, "
             f"store {self.store_hits} hit(s) / {self.store_misses} miss(es)"
         )
+        if self.pool is not None:
+            lines.append(
+                f"pool: {self.pool.get('spawned', 0)} worker(s) spawned, "
+                f"{self.pool.get('warm_jobs', 0)}/{self.pool.get('jobs', 0)} "
+                f"job(s) warm (reuse {self.pool.get('reuse_rate', 0.0):.0%})"
+            )
         return "\n".join(lines)
 
 
@@ -233,17 +264,32 @@ class BatchReport:
 
 @contextmanager
 def _job_alarm(timeout_s: Optional[float]) -> Iterator[None]:
-    """Raise :class:`JobTimeout` after ``timeout_s`` (POSIX, main thread)."""
+    """Raise :class:`JobTimeout` after ``timeout_s`` (POSIX, main thread).
+
+    ``SIGALRM`` can only be armed on the main thread of a Unix process.
+    When a timeout is requested somewhere it cannot be honoured (a
+    non-main thread, or a platform without ``SIGALRM``), the job runs
+    without one — with a :class:`RuntimeWarning`, because a silently
+    ignored timeout is how hung jobs stall whole batches.
+    """
     import signal
     import threading
 
+    wanted = timeout_s is not None and timeout_s > 0
     usable = (
-        timeout_s is not None
-        and timeout_s > 0
+        wanted
         and hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
     if not usable:
+        if wanted:
+            warnings.warn(
+                "per-job timeout requested but SIGALRM is unavailable "
+                "here (non-main thread or non-POSIX); running without "
+                "a timeout",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         yield
         return
 
@@ -287,24 +333,6 @@ def inprocess_runner(
     return run
 
 
-def _worker_environ(
-    fault_plan: Optional[FaultPlan],
-    snapshot: Optional[str] = None,
-) -> Dict[str, str]:
-    import repro
-
-    environ = dict(os.environ)
-    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    existing = environ.get("PYTHONPATH", "")
-    parts = [src_dir] + ([existing] if existing else [])
-    environ["PYTHONPATH"] = os.pathsep.join(parts)
-    if fault_plan is not None:
-        environ["REPRO_FAULT_PLAN"] = fault_plan.to_env()
-    if snapshot is not None:
-        environ["REPRO_SNAPSHOT"] = snapshot
-    return environ
-
-
 def subprocess_runner(
     fault_plan: Optional[FaultPlan] = None,
     snapshot: Optional[str] = None,
@@ -313,10 +341,15 @@ def subprocess_runner(
 
     Crash isolation is the point: a worker that dies (injected crash,
     OOM kill, segfault) yields :class:`WorkerCrash` for *its* job only.
-    A worker that outlives the per-job timeout is killed and reported as
-    :class:`JobTimeout`.
+    A worker that outlives the per-job timeout has its whole process
+    group killed (workers run ``start_new_session``, so children they
+    spawned die with them) and is reported as :class:`JobTimeout`.
+
+    The record comes back as the last frame of the worker's stdout (see
+    :mod:`repro.service.proto`); stray prints — even ``{``-prefixed
+    ones — are protocol noise, never mistaken for the result.
     """
-    environ = _worker_environ(fault_plan, snapshot)
+    environ = worker_environ(fault_plan, snapshot)
 
     def run(
         payload: Dict[str, Any], attempt: int, timeout_s: Optional[float]
@@ -332,13 +365,14 @@ def subprocess_runner(
             stderr=subprocess.PIPE,
             text=True,
             env=environ,
+            start_new_session=True,
         )
         try:
             stdout, stderr = process.communicate(
                 request, timeout=timeout_s
             )
         except subprocess.TimeoutExpired:
-            process.kill()
+            kill_process_group(process)
             process.communicate()
             raise JobTimeout(
                 f"worker for {payload['target']!r} exceeded {timeout_s}s"
@@ -354,14 +388,9 @@ def subprocess_runner(
             raise WorkerCrash(
                 f"worker for {payload['target']!r} {kind}: {detail}"
             )
-        for line in reversed((stdout or "").strip().splitlines()):
-            line = line.strip()
-            if line.startswith("{"):
-                try:
-                    record: Dict[str, Any] = json.loads(line)
-                    return record
-                except json.JSONDecodeError:
-                    break
+        record = last_frame(stdout or "")
+        if record is not None:
+            return record
         raise WorkerCrash(
             f"worker for {payload['target']!r} produced no result record"
         )
@@ -437,6 +466,16 @@ class _BatchState:
         return [self.outcomes[name] for name in self.order]
 
 
+@contextmanager
+def _pool_guard(pool: Optional[WorkerPool]) -> Iterator[None]:
+    """Drain a batch-owned worker pool however the batch exits."""
+    try:
+        yield
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+
 def _store_record(job: RepairJob, result: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "schema_version": SCHEMA_VERSION,
@@ -456,14 +495,24 @@ def run_batch(
 ) -> BatchReport:
     """Schedule ``jobs`` over the worker pool; return per-job outcomes.
 
-    ``runner`` defaults to the subprocess pool when ``options.jobs > 1``
-    and the deterministic in-process executor otherwise.  ``on_cached``
-    is invoked for every store hit (live batches use it to replay the
+    ``runner`` defaults, when ``options.jobs > 1``, to the persistent
+    warm-worker pool (``options.pool``, i.e. ``--pool`` / ``$REPRO_POOL``)
+    or the per-attempt subprocess runner (``--no-pool``); serial batches
+    use the deterministic in-process executor.  A pool created here is
+    owned here: it is drained before the report is returned, and its
+    lifecycle counters land in ``report.pool``.  ``on_cached`` is
+    invoked for every store hit (live batches use it to replay the
     cached definitions into the session environment).
     """
     options = options or BatchOptions()
+    worker_pool: Optional[WorkerPool] = None
     if runner is None:
-        if options.jobs > 1:
+        if options.jobs > 1 and options.pool:
+            worker_pool = WorkerPool(
+                options.jobs, options.fault_plan, options.snapshot
+            )
+            runner = worker_pool.runner()
+        elif options.jobs > 1:
             runner = subprocess_runner(options.fault_plan, options.snapshot)
         else:
             runner = inprocess_runner(options.fault_plan, options.snapshot)
@@ -578,7 +627,7 @@ def run_batch(
         if options.backoff_s > 0 and attempt > 0:
             time.sleep(options.backoff_s * attempt)
 
-    with span(
+    with _pool_guard(worker_pool), span(
         "service_batch", category="service", batch=batch, jobs=options.jobs
     ) as batch_span:
         if options.jobs <= 1:
@@ -673,6 +722,11 @@ def run_batch(
                         )
                         if next_attempt is not None:
                             retry_queue.append((job, next_attempt))
+        if worker_pool is not None:
+            # Drain before reading the counters so they are final; the
+            # guard's later shutdown is an idempotent no-op.
+            worker_pool.shutdown()
+            report.pool = worker_pool.stats()
         report.wall_time_s = time.perf_counter() - started
         report.outcomes = state.ordered_outcomes()
         if store is not None:
@@ -686,4 +740,15 @@ def run_batch(
         batch_span.gauge("queue_depth_max", float(report.max_queue_depth))
         batch_span.gauge("worker_utilization", report.worker_utilization)
         batch_span.gauge("store_hit_rate", report.cache_hit_rate)
+        if report.pool is not None:
+            batch_span.gauge(
+                "worker_reuse_rate",
+                float(report.pool.get("reuse_rate", 0.0)),
+            )
+            pool_jobs = int(report.pool.get("jobs", 0))
+            if pool_jobs:
+                batch_span.gauge(
+                    "pool_boots_per_job",
+                    float(report.pool.get("env_boots", 0)) / pool_jobs,
+                )
     return report

@@ -13,10 +13,16 @@ Two entry points share the same implementation:
 
 * :func:`run_job` — called in-process by the deterministic serial
   executor (``--jobs 1`` and tests);
-* ``python -m repro.service.worker`` — the subprocess body the parallel
-  pool launches, reading one JSON payload on stdin and writing one JSON
-  record on stdout.  A crash-injected worker exits with
-  :data:`~repro.service.faults.CRASH_EXIT_CODE` and no output.
+* ``python -m repro.service.worker`` — the one-shot subprocess body,
+  reading one JSON payload on stdin and writing one framed JSON record
+  (see :mod:`repro.service.proto`) on stdout.  A crash-injected worker
+  exits with :data:`~repro.service.faults.CRASH_EXIT_CODE` and no
+  record;
+* ``python -m repro.service.worker --serve`` — the persistent body the
+  warm pool (:mod:`repro.service.pool`) launches: it boots once, then
+  serves framed requests off stdin until a ``shutdown`` request or EOF.
+  Booted environments stay resident between jobs (see
+  :func:`execute_warm`), which is the whole point of the pool.
 """
 
 from __future__ import annotations
@@ -26,19 +32,26 @@ import json
 import os
 import sys
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.config import ConfigError, Configuration
 from ..core.repair import RepairError, RepairSession
-from ..kernel.env import Environment
+from ..kernel.env import EnvError, Environment
 from ..kernel.pretty import pretty
 from ..kernel.stats import KERNEL_STATS
 from ..kernel.term import TermError
 from . import faults
 from .job import LIVE_SETUP, SCHEMA_VERSION, JobError
+from .proto import read_frames, write_frame
 
 #: Environment variable naming a snapshot pack to boot from.
 SNAPSHOT_ENV_VAR = "REPRO_SNAPSHOT"
+
+#: Test hook: when set, the worker prints this string to stdout (once
+#: before and once after its record) to simulate a noisy worker whose
+#: diagnostics interleave with the protocol stream.
+NOISE_ENV_VAR = "REPRO_WORKER_NOISE"
 
 
 def default_snapshot() -> Optional[str]:
@@ -271,6 +284,85 @@ def execute_job(
     return record
 
 
+# -- Warm execution (persistent workers) --------------------------------------
+
+
+@dataclass
+class Resident:
+    """One booted environment kept alive between jobs of a warm worker."""
+
+    #: The job-claimed source fingerprint this environment was booted
+    #: under; a later job claiming a different one means the setup
+    #: module changed on disk and this process (whose import graph is
+    #: frozen) can no longer rebuild it honestly.
+    fingerprint: str
+    env: Environment
+    #: How the environment was first built (``snapshot``/``scratch``) —
+    #: only the boot job reports it; reuse jobs report ``warm``.
+    boot: str
+    jobs: int = 0
+
+
+class StaleEnvironment(Exception):
+    """A job's env fingerprint no longer matches the resident boot."""
+
+
+def execute_warm(
+    residents: Dict[str, Resident],
+    payload: Dict[str, Any],
+    snapshot: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one job against a resident environment, booting on first use.
+
+    The environment is checkpointed before the repair and rolled back
+    after it (success or failure), so each job observes the pristine
+    boot state — byte-identical results to a fresh per-job boot, which
+    the digest-parity gates assert.  If the rollback itself refuses
+    (the repair performed a destructive mutation the checkpoint cannot
+    undo), the resident entry is dropped and the next job re-boots:
+    refuse-don't-corrupt.
+    """
+    setup = payload["setup"]
+    claimed = str(payload.get("env_fingerprint", ""))
+    entry = residents.get(setup)
+    if entry is not None and claimed and entry.fingerprint != claimed:
+        raise StaleEnvironment(
+            f"setup {setup!r} changed on disk since this worker booted"
+        )
+    started = time.perf_counter()
+    before = _stats_snapshot()
+    if entry is None:
+        env, boot = boot_environment(setup, snapshot)
+        entry = Resident(fingerprint=claimed, env=env, boot=boot)
+        residents[setup] = entry
+        job_boot = boot
+    else:
+        job_boot = "warm"
+    env = entry.env
+    mark = env.checkpoint()
+    try:
+        config = build_config(env, payload["config"])
+        session = RepairSession(
+            env,
+            config,
+            old_globals=tuple(payload["old"]),
+            rename=make_rename(payload.get("rename")),
+            skip=list(payload.get("skip") or ()) or None,
+        )
+        result = session.repair_constant(
+            payload["target"], new_name=payload.get("new_name")
+        )
+        record = build_record(env, session, result, before, started)
+    finally:
+        try:
+            env.rollback(mark)
+        except EnvError:
+            residents.pop(setup, None)
+    entry.jobs += 1
+    record["env_boot"] = job_boot
+    return record
+
+
 def attempt_job(
     execute: Callable[[], Dict[str, Any]],
     payload: Dict[str, Any],
@@ -291,9 +383,10 @@ def attempt_job(
         return execute()
     except faults.FaultInjected as exc:
         return {"status": "failed", "error": str(exc), "retryable": True}
-    except (faults.WorkerCrash, faults.JobTimeout):
-        # In-process crash/timeout semantics are the scheduler's to
-        # handle; these never occur in a subprocess worker.
+    except (faults.WorkerCrash, faults.JobTimeout, StaleEnvironment):
+        # Crash/timeout semantics are the scheduler's to handle, and a
+        # stale resident environment is the serve loop's (it answers
+        # with a ``stale`` frame so the pool retires this worker).
         raise
     except (RepairError, ConfigError, TermError, JobError) as exc:
         return {
@@ -328,14 +421,93 @@ def run_job(
     )
 
 
+def _emit_noise() -> None:
+    """Print the test-hook noise line, if configured (and flush it)."""
+    noise = os.environ.get(NOISE_ENV_VAR)
+    if noise:
+        sys.stdout.write(noise + "\n")
+        sys.stdout.flush()
+
+
+def _emit_record(record: Dict[str, Any]) -> None:
+    """Write one framed record to stdout, bracketed by optional noise.
+
+    Noise *after* the frame is the case the old reversed ``{``-line scan
+    mis-parsed; the framed protocol shrugs it off.
+    """
+    _emit_noise()
+    sys.stdout.flush()
+    write_frame(sys.stdout.buffer, record)
+    _emit_noise()
+
+
+def serve(snapshot: Optional[str] = None) -> int:
+    """Persistent worker body: framed requests in, framed replies out.
+
+    Requests (one JSON object per frame on stdin):
+
+    * ``{"op": "job", "payload": .., "attempt": n, "snapshot": ..}`` —
+      run one job warm; replies ``{"op": "result", "record": ..}``, or
+      ``{"op": "stale", "setup": ..}`` when the payload's env
+      fingerprint no longer matches the resident boot (the pool retires
+      this worker and redispatches to a fresh one);
+    * ``{"op": "ping"}`` — replies ``{"op": "pong", "served": n}``;
+    * ``{"op": "shutdown"}`` — replies ``{"op": "bye", "served": n}``
+      and exits.  EOF on stdin exits the same way, sans farewell.
+
+    Booted environments stay resident in ``residents`` across jobs (the
+    warm path); injected crashes still ``os._exit`` the whole process
+    and injected hangs still stall it — the pool's deadline/respawn
+    machinery handles both exactly as it would a real fault.
+    """
+    out = sys.stdout.buffer
+    residents: Dict[str, Resident] = {}
+    served = 0
+    for request in read_frames(sys.stdin.fileno()):
+        op = request.get("op")
+        if op == "ping":
+            write_frame(out, {"op": "pong", "served": served})
+            continue
+        if op == "shutdown":
+            write_frame(out, {"op": "bye", "served": served})
+            return 0
+        if op != "job":
+            write_frame(
+                out, {"op": "error", "error": f"unknown op {op!r}"}
+            )
+            continue
+        payload = request.get("payload") or {}
+        attempt = int(request.get("attempt", 0))
+        job_snapshot = request.get("snapshot") or snapshot
+        try:
+            record = attempt_job(
+                lambda: execute_warm(residents, payload, job_snapshot),
+                payload,
+                attempt,
+                faults.FaultPlan.from_env(),
+            )
+        except StaleEnvironment:
+            write_frame(
+                out, {"op": "stale", "setup": payload.get("setup")}
+            )
+            continue
+        record["schema_version"] = SCHEMA_VERSION
+        served += 1
+        _emit_noise()
+        write_frame(out, {"op": "result", "record": record})
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Subprocess body: JSON payload on stdin, JSON record on stdout.
+    """Subprocess body: JSON payload on stdin, framed record on stdout.
 
     The snapshot to boot from comes from (highest priority first) the
     request envelope's ``snapshot`` field, a ``--snapshot PATH``
-    argument, or ``$REPRO_SNAPSHOT``.
+    argument, or ``$REPRO_SNAPSHOT``.  With ``--serve``, runs the
+    persistent framed loop (:func:`serve`) instead of one job.
     """
     snapshot: Optional[str] = None
+    serve_mode = False
     args = list(argv) if argv is not None else sys.argv[1:]
     while args:
         arg = args.pop(0)
@@ -343,14 +515,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             snapshot = args.pop(0)
         elif arg.startswith("--snapshot="):
             snapshot = arg.split("=", 1)[1]
+        elif arg == "--serve":
+            serve_mode = True
+    if serve_mode:
+        return serve(snapshot)
     raw = sys.stdin.read()
     try:
         envelope = json.loads(raw)
     except json.JSONDecodeError as exc:
-        print(
-            json.dumps(
-                {"status": "failed", "error": f"bad payload: {exc}"}
-            )
+        _emit_record(
+            {"status": "failed", "error": f"bad payload: {exc}"}
         )
         return 0
     payload = envelope.get("payload", envelope)
@@ -358,8 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     snapshot = envelope.get("snapshot") or snapshot
     record = run_job(payload, attempt, snapshot=snapshot)
     record["schema_version"] = SCHEMA_VERSION
-    json.dump(record, sys.stdout)
-    sys.stdout.write("\n")
+    _emit_record(record)
     return 0
 
 

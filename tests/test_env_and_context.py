@@ -90,6 +90,60 @@ class TestEnvironment:
 
         assert nf(env, Const("sealed")) == Const("sealed")
 
+    def test_checkpoint_rollback_restores_declarations_and_cache(self):
+        from repro.kernel import nf
+
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        nf(env, parse(env, "S (S O)"))  # populate the reduction cache
+        order = env.declaration_order()
+        cache_size = env.reduction_cache.size
+        mark = env.checkpoint()
+        env.define("two", parse(env, "2"))
+        env.define("four", parse(env, "4"))
+        nf(env, parse(env, "four"))  # cache entries mentioning 'four'
+        added = env.rollback(mark)
+        assert added == ("two", "four")
+        assert not env.has_constant("two")
+        assert not env.has_constant("four")
+        assert env.declaration_order() == order
+        assert env.reduction_cache.size == cache_size
+        # The environment is reusable: the same names define cleanly.
+        env.define("two", parse(env, "2"))
+        assert env.has_constant("two")
+
+    def test_rollback_refused_after_destructive_mutation(self):
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        env.define("two", parse(env, "2"))
+        mark = env.checkpoint()
+        env.redefine("two", parse(env, "3"), type=Ind("nat"))
+        with pytest.raises(EnvError):
+            env.rollback(mark)
+
+    def test_rollback_refused_after_remove(self):
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        env.define("two", parse(env, "2"))
+        mark = env.checkpoint()
+        env.remove("two")
+        with pytest.raises(EnvError):
+            env.rollback(mark)
+
+    def test_rollback_refused_when_checkpoint_is_ahead(self):
+        env = Environment()
+        declare_prelude(env)
+        declare_nat(env)
+        env.define("two", parse(env, "2"))
+        mark = env.checkpoint()
+        fresh = Environment()
+        declare_prelude(fresh)
+        with pytest.raises(EnvError):
+            fresh.rollback(mark)
+
 
 class TestContext:
     def test_type_of_lifts(self):

@@ -1,0 +1,507 @@
+"""The framed worker protocol and the persistent warm-worker pool."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    BatchOptions,
+    FaultPlan,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    WorkerPool,
+    run_batch,
+    subprocess_runner,
+)
+from repro.service.job import fingerprint_source, result_digest
+from repro.service.cases import six_case_jobs
+from repro.service.faults import JobTimeout, WorkerCrash
+from repro.service.job import RepairJob
+from repro.service.pool import (
+    default_max_jobs,
+    default_pool,
+    kill_process_group,
+    worker_environ,
+)
+from repro.service.proto import (
+    FrameParser,
+    FrameStream,
+    ProtocolError,
+    encode_frame,
+    last_frame,
+    parse_frames,
+)
+
+QUICKSTART_SETUP = "repro.service.cases:quickstart_env"
+
+
+def _quickstart_job(**kwargs):
+    spec = dict(
+        name="quickstart/rev_app_distr",
+        setup=QUICKSTART_SETUP,
+        target="rev_app_distr",
+        config={"kind": "auto", "a": "list", "b": "New.list"},
+        old=("list",),
+        rename={"kind": "prefix", "value": "New."},
+        env_fingerprint=fingerprint_source(QUICKSTART_SETUP),
+    )
+    spec.update(kwargs)
+    return RepairJob(**spec)
+
+
+def _refactor_jobs():
+    return [
+        j
+        for j in six_case_jobs()
+        if j.name.startswith("refactor/") or j.name == "galois/cork"
+    ]
+
+
+# -- The framed protocol ------------------------------------------------------
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "result", "record": {"status": "ok", "n": 3}}
+        frames = parse_frames(encode_frame(message))
+        assert frames == [message]
+
+    def test_json_body_is_the_last_stdout_line(self):
+        """Back-compat: naive last-line parses keep working."""
+        text = encode_frame({"a": 1}).decode()
+        assert json.loads(text.strip().splitlines()[-1]) == {"a": 1}
+
+    def test_noise_lines_are_skipped(self):
+        """Even noise that *is* valid ``{``-prefixed JSON is ignored —
+        the case the old reversed stdout scan silently mis-parsed."""
+        blob = (
+            b"booting...\n"
+            b'{"status": "lying", "retryable": true}\n'
+            + encode_frame({"op": "result", "real": True})
+            + b'{"another": "lie"}\n'
+        )
+        assert last_frame(blob.decode()) == {"op": "result", "real": True}
+
+    def test_multiple_frames_in_order(self):
+        blob = encode_frame({"n": 1}) + b"noise\n" + encode_frame({"n": 2})
+        assert parse_frames(blob) == [{"n": 1}, {"n": 2}]
+
+    def test_partial_feed_reassembles(self):
+        whole = encode_frame({"key": "v" * 300})
+        parser = FrameParser()
+        got = None
+        for i in range(len(whole)):
+            parser.feed(whole[i : i + 1])
+            frame = parser.next_frame()
+            if frame is not None:
+                got = frame
+        assert got == {"key": "v" * 300}
+
+    def test_last_frame_none_without_frames(self):
+        assert last_frame("") is None
+        assert last_frame('{"status": "ok"}\nplain noise\n') is None
+
+    def test_undecodable_body_is_a_protocol_error(self):
+        parser = FrameParser()
+        parser.feed(b"@repro-frame 3\nxyz\n")
+        with pytest.raises(ProtocolError):
+            parser.next_frame()
+
+    def test_non_object_body_is_a_protocol_error(self):
+        parser = FrameParser()
+        parser.feed(b"@repro-frame 7\n[1,2,3]\n")
+        with pytest.raises(ProtocolError):
+            parser.next_frame()
+
+    def test_absurd_length_is_a_protocol_error(self):
+        parser = FrameParser()
+        parser.feed(b"@repro-frame 999999999999\n")
+        with pytest.raises(ProtocolError):
+            parser.next_frame()
+
+    def test_header_lookalike_noise_is_skipped(self):
+        blob = b"@repro-frame not-a-length\n" + encode_frame({"ok": 1})
+        assert parse_frames(blob) == [{"ok": 1}]
+
+
+# -- One-shot worker: noisy stdout --------------------------------------------
+
+
+class TestNoisyWorker:
+    def test_noisy_worker_record_still_parsed(self, monkeypatch):
+        """A worker printing ``{``-prefixed JSON diagnostics around its
+        record must not confuse the runner (satellite regression)."""
+        monkeypatch.setenv(
+            "REPRO_WORKER_NOISE", '{"status": "failed", "error": "noise"}'
+        )
+        runner = subprocess_runner()
+        record = runner(_quickstart_job().payload(), 0, 120)
+        assert record["status"] == STATUS_OK
+        assert record["new_name"] == "New.rev_app_distr"
+
+
+# -- Serial executor: SIGALRM guard -------------------------------------------
+
+
+class TestAlarmGuard:
+    def test_off_main_thread_timeout_warns_and_runs(self):
+        from repro.service.scheduler import _job_alarm
+
+        ran = []
+
+        def work():
+            with pytest.warns(RuntimeWarning, match="SIGALRM"):
+                with _job_alarm(5.0):
+                    ran.append(True)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert ran == [True]
+
+    def test_no_timeout_requested_never_warns(self):
+        import warnings as warnings_mod
+
+        from repro.service.scheduler import _job_alarm
+
+        def work():
+            with warnings_mod.catch_warnings():
+                warnings_mod.simplefilter("error")
+                with _job_alarm(None):
+                    pass
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+
+    def test_main_thread_timeout_still_fires(self):
+        from repro.service.scheduler import _job_alarm
+
+        with pytest.raises(JobTimeout):
+            with _job_alarm(0.05):
+                time.sleep(5)
+
+
+# -- Process-group reaping ----------------------------------------------------
+
+
+def _proc_gone(pid):
+    """True when ``pid`` is dead (missing or a zombie awaiting reap)."""
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            return handle.read().split()[2] == "Z"
+    except OSError:
+        return True
+
+
+class TestProcessGroupReaping:
+    def test_killpg_reaps_grandchildren(self):
+        """A worker that spawned children cannot leak them past the
+        timeout kill (satellite: ``start_new_session`` + ``killpg``)."""
+        script = (
+            "import subprocess, sys, time\n"
+            "child = subprocess.Popen("
+            "[sys.executable, '-c', 'import time; time.sleep(60)'])\n"
+            "print(child.pid, flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            text=True,
+            start_new_session=True,
+        )
+        grandchild = int(process.stdout.readline())
+        assert not _proc_gone(grandchild)
+        kill_process_group(process)
+        assert process.poll() is not None
+        deadline = time.monotonic() + 10
+        while not _proc_gone(grandchild):
+            assert time.monotonic() < deadline, "grandchild leaked"
+            time.sleep(0.05)
+
+
+# -- The serve loop, driven over raw frames -----------------------------------
+
+
+def _spawn_serve_worker():
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service.worker", "--serve"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=worker_environ(),
+        start_new_session=True,
+    )
+
+
+class TestServeLoop:
+    def test_ping_job_warm_reuse_and_shutdown(self):
+        process = _spawn_serve_worker()
+        try:
+            stream = FrameStream(process.stdout.fileno())
+            deadline = time.monotonic() + 120
+
+            def ask(message):
+                process.stdin.write(encode_frame(message))
+                process.stdin.flush()
+                return stream.read_frame(deadline)
+
+            assert ask({"op": "ping"}) == {"op": "pong", "served": 0}
+
+            payload = _quickstart_job().payload()
+            first = ask({"op": "job", "payload": payload, "attempt": 0})
+            assert first["op"] == "result"
+            assert first["record"]["env_boot"] == "scratch"
+
+            second = ask({"op": "job", "payload": payload, "attempt": 0})
+            assert second["record"]["env_boot"] == "warm"
+            assert result_digest(second["record"]) == result_digest(
+                first["record"]
+            )
+
+            # A changed fingerprint means the resident env is stale.
+            changed = dict(payload, env_fingerprint="0" * 64)
+            stale = ask({"op": "job", "payload": changed, "attempt": 0})
+            assert stale == {"op": "stale", "setup": payload["setup"]}
+
+            assert ask({"op": "shutdown"}) == {"op": "bye", "served": 2}
+            assert process.wait(timeout=10) == 0
+        finally:
+            kill_process_group(process)
+
+    def test_unknown_op_is_reported_not_fatal(self):
+        process = _spawn_serve_worker()
+        try:
+            stream = FrameStream(process.stdout.fileno())
+            deadline = time.monotonic() + 30
+            process.stdin.write(encode_frame({"op": "dance"}))
+            process.stdin.flush()
+            reply = stream.read_frame(deadline)
+            assert reply["op"] == "error"
+            process.stdin.write(encode_frame({"op": "ping"}))
+            process.stdin.flush()
+            assert stream.read_frame(deadline)["op"] == "pong"
+        finally:
+            kill_process_group(process)
+
+
+# -- The pool -----------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_warm_reuse_with_digest_parity_vs_subprocess(self):
+        payload = _quickstart_job().payload()
+        with WorkerPool(1) as pool:
+            first = pool.run_job(payload, 0, 120)
+            second = pool.run_job(payload, 0, 120)
+        assert first["env_boot"] in ("scratch", "snapshot")
+        assert second["env_boot"] == "warm"
+        hermetic = subprocess_runner()(payload, 0, 120)
+        assert (
+            result_digest(first)
+            == result_digest(second)
+            == result_digest(hermetic)
+        )
+        stats = pool.stats()
+        assert stats["spawned"] == 1
+        assert stats["jobs"] == 2
+        assert stats["warm_jobs"] == 1
+
+    def test_fingerprint_change_retires_worker_and_redispatches(self):
+        payload = _quickstart_job().payload()
+        with WorkerPool(1) as pool:
+            first = pool.run_job(payload, 0, 120)
+            assert first["status"] == STATUS_OK
+            # Simulate an edited setup module: same job, new fingerprint.
+            changed = dict(payload, env_fingerprint="0" * 64)
+            second = pool.run_job(changed, 0, 120)
+            assert second["status"] == STATUS_OK
+            # The fresh worker re-booted; nothing was served warm.
+            assert second["env_boot"] in ("scratch", "snapshot")
+        stats = pool.stats()
+        assert stats["stale_retired"] == 1
+        assert stats["spawned"] == 2
+
+    def test_recycle_after_max_jobs_per_worker(self):
+        payload = _quickstart_job().payload()
+        with WorkerPool(1, max_jobs_per_worker=1) as pool:
+            first = pool.run_job(payload, 0, 120)
+            second = pool.run_job(payload, 0, 120)
+        assert first["status"] == second["status"] == STATUS_OK
+        # Each worker retired after its single job: no warm reuse.
+        assert second["env_boot"] in ("scratch", "snapshot")
+        stats = pool.stats()
+        assert stats["spawned"] == 2
+        assert stats["recycled"] == 2
+
+    def test_injected_hang_kills_only_the_stuck_worker(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_HANG_S", "60")
+        jobs = _refactor_jobs()
+        plan = FaultPlan({"demorgan_1": {0: "hang"}})
+        with WorkerPool(2, fault_plan=plan) as pool:
+            with pytest.raises(JobTimeout):
+                pool.run_job(
+                    [j for j in jobs if j.name == "refactor/demorgan_1"][0]
+                    .payload(),
+                    0,
+                    8,
+                )
+            # Only the stuck worker died; the pool keeps serving — and
+            # keeps environments resident across the kill.
+            ok = pool.run_job(
+                [j for j in jobs if j.name == "refactor/demorgan_2"][0]
+                .payload(),
+                0,
+                120,
+            )
+            assert ok["status"] == STATUS_OK
+            again = pool.run_job(
+                [j for j in jobs if j.name == "refactor/demorgan_2"][0]
+                .payload(),
+                0,
+                120,
+            )
+            assert again["status"] == STATUS_OK
+            assert again["env_boot"] == "warm"
+        stats = pool.stats()
+        assert stats["timeout_kills"] == 1
+        assert stats["spawned"] == 2
+
+    def test_mid_batch_crash_leaves_warm_workers_finishing(self, tmp_path):
+        """Injected crash kills one warm worker; its job retries on a
+        fresh one and the rest of the batch completes (scheduler path)."""
+        jobs = _refactor_jobs()
+        plan = FaultPlan({"demorgan_1": {0: "crash"}})
+        report = run_batch(
+            jobs,
+            BatchOptions(
+                jobs=2,
+                fault_plan=plan,
+                timeout_s=120,
+                backoff_s=0.0,
+                pool=True,
+            ),
+        )
+        statuses = {o.job.name: o.status for o in report.outcomes}
+        assert statuses == {
+            "refactor/demorgan_1": STATUS_OK,
+            "refactor/demorgan_2": STATUS_OK,
+            "galois/cork": STATUS_OK,
+        }
+        assert report.outcome("refactor/demorgan_1").attempts == 2
+        assert report.pool is not None
+        assert report.pool["crashes"] == 1
+
+    def test_batch_digests_match_subprocess_mode(self):
+        jobs = _refactor_jobs()
+        pooled = run_batch(
+            jobs, BatchOptions(jobs=2, timeout_s=120, pool=True)
+        )
+        hermetic = run_batch(
+            jobs, BatchOptions(jobs=2, timeout_s=120, pool=False)
+        )
+        assert pooled.ok and hermetic.ok
+        assert hermetic.pool is None
+        digests = lambda report: {  # noqa: E731
+            o.job.name: result_digest(o.result) for o in report.outcomes
+        }
+        assert digests(pooled) == digests(hermetic)
+
+    def test_timeout_via_scheduler_reports_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_HANG_S", "60")
+        jobs = _refactor_jobs()
+        plan = FaultPlan({"demorgan_1": {0: "hang"}})
+        report = run_batch(
+            jobs,
+            BatchOptions(
+                jobs=2, fault_plan=plan, timeout_s=8, pool=True
+            ),
+        )
+        assert report.outcome("refactor/demorgan_1").status == STATUS_TIMEOUT
+        assert report.outcome("galois/cork").status == STATUS_OK
+        assert report.pool["timeout_kills"] == 1
+
+    def test_shutdown_is_idempotent_and_blocks_new_checkouts(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.run_job(_quickstart_job().payload(), 0, 10)
+
+    def test_stale_bounce_limit_surfaces_as_crash(self, monkeypatch):
+        """If fresh workers keep answering stale (impossible for a real
+        fingerprint mismatch, simulated by patching), the pool gives up
+        instead of spinning."""
+        payload = dict(_quickstart_job().payload())
+        pool = WorkerPool(1)
+
+        class AlwaysStale:
+            jobs = 0
+
+            def request(self, message, deadline=None):
+                return {"op": "stale", "setup": payload["setup"]}
+
+            def retire(self):
+                pass
+
+            def destroy(self):
+                pass
+
+        monkeypatch.setattr(pool, "_checkout", lambda: AlwaysStale())
+        with pytest.raises(WorkerCrash, match="stale"):
+            pool.run_job(payload, 0, 10)
+        pool.shutdown()
+
+
+# -- Defaults and CLI wiring --------------------------------------------------
+
+
+class TestPoolKnobs:
+    def test_default_pool_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL", raising=False)
+        assert default_pool() is True
+        for value in ("0", "false", "no", "off", "OFF"):
+            monkeypatch.setenv("REPRO_POOL", value)
+            assert default_pool() is False
+        monkeypatch.setenv("REPRO_POOL", "1")
+        assert default_pool() is True
+
+    def test_batch_options_resolve_pool_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "0")
+        assert BatchOptions(jobs=2).pool is False
+        monkeypatch.setenv("REPRO_POOL", "1")
+        assert BatchOptions(jobs=2).pool is True
+        assert BatchOptions(jobs=2, pool=False).pool is False
+
+    def test_default_max_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL_MAX_JOBS", raising=False)
+        assert default_max_jobs() == 64
+        monkeypatch.setenv("REPRO_POOL_MAX_JOBS", "7")
+        assert default_max_jobs() == 7
+        monkeypatch.setenv("REPRO_POOL_MAX_JOBS", "junk")
+        assert default_max_jobs() == 64
+
+    def test_cli_pool_flags(self):
+        from repro.service.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["--six-cases"]).pool is None
+        assert parser.parse_args(["--six-cases", "--pool"]).pool is True
+        assert parser.parse_args(["--six-cases", "--no-pool"]).pool is False
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--six-cases", "--pool", "--no-pool"])
+
+    def test_worker_environ_carries_knobs(self):
+        plan = FaultPlan({"t": {0: "error"}})
+        environ = worker_environ(plan, "/tmp/snap.json")
+        assert environ["REPRO_FAULT_PLAN"] == plan.to_env()
+        assert environ["REPRO_SNAPSHOT"] == "/tmp/snap.json"
+        src = Path(__file__).resolve().parents[1] / "src"
+        assert str(src) in environ["PYTHONPATH"].split(os.pathsep)
