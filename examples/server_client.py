@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Repair the replica case over HTTP against a running repair server.
+
+Start the server in one terminal::
+
+    PYTHONPATH=src python -m repro.server --port 8433 --workers 2
+
+then run this client in another::
+
+    python examples/server_client.py [--port 8433]
+
+(With no server listening, the client boots a private one on a free
+port for the demo and shuts it down afterwards.)
+
+The client exercises both halves of the server:
+
+* **stateless batch repair** — POSTs the replica case
+  (``eval_eq_true_or_false`` across the ``Old.Term ~ New0.Term``
+  constructor swap, the paper's REPLICA user study) as a one-job
+  manifest, prints the repaired name and its content digest, then
+  repeats the POST to show the result-store cache tier answering
+  without kernel work;
+* **a named persistent session** — creates ``replica-demo``, runs the
+  same repair as a vernacular command against the session's resident
+  environment (boot paid once), and closes it.
+
+Everything is stdlib ``urllib`` — the server speaks plain HTTP/JSON.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+REPLICA_JOB = {
+    "name": "replica/eval_eq_true_or_false",
+    "setup": "repro.service.cases:replica_env",
+    "target": "eval_eq_true_or_false",
+    "config": {"kind": "auto", "a": "Old.Term", "b": "New0.Term"},
+    "old": ["Old.Term"],
+    "rename": {"kind": "prefix", "value": "New0."},
+}
+
+
+def call(base, method, path, body=None, timeout=300):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def spawn_server():
+    """A private demo server on a free port (when none is running)."""
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = str(src) + (os.pathsep + existing if existing else "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.server",
+            "--port", "0", "--workers", "2", "--no-store", "--quiet",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+        start_new_session=True,
+    )
+    info = json.loads(process.stdout.readline())
+    return process, info["port"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8433)
+    args = parser.parse_args()
+    base = f"http://{args.host}:{args.port}"
+
+    server = None
+    try:
+        status, health = call(base, "GET", "/healthz", timeout=10)
+    except urllib.error.URLError:
+        print(f"no server at {base}; booting a private one for the demo")
+        server, port = spawn_server()
+        base = f"http://127.0.0.1:{port}"
+        status, health = call(base, "GET", "/healthz", timeout=10)
+    try:
+        if status != 200:
+            print(f"server not healthy at {base}: {status} {health}")
+            return 1
+        print(f"server at {base} is {health['status']}")
+        return run_demo(base)
+    finally:
+        if server is not None:
+            server.send_signal(signal.SIGTERM)
+            server.wait(timeout=45)
+
+
+def run_demo(base) -> int:
+
+    # -- Stateless batch repair, then the cache tier -----------------------
+    manifest = {"batch": "replica-over-http", "jobs": [REPLICA_JOB]}
+    status, report = call(base, "POST", "/v1/repair", manifest)
+    if status != 200:
+        print(f"repair failed: {status} {report}")
+        return 1
+    outcome = report["outcomes"][0]
+    print(
+        f"repaired {outcome['name']}: {outcome['status']} -> "
+        f"{outcome['new_name']}  (digest {outcome['result_digest'][:16]}..., "
+        f"{report['wall_time_s']:.2f}s)"
+    )
+
+    status, again = call(base, "POST", "/v1/repair", manifest)
+    cached = again["outcomes"][0]
+    print(
+        f"rerun: {cached['status']} in {again['wall_time_s']:.3f}s "
+        f"(same digest: {cached['result_digest'] == outcome['result_digest']})"
+    )
+
+    # -- The same repair through a named persistent session ----------------
+    status, _ = call(
+        base,
+        "POST",
+        "/v1/sessions",
+        {"name": "replica-demo", "setup": REPLICA_JOB["setup"]},
+    )
+    if status not in (201, 409):  # 409: left over from a previous run
+        print(f"session create failed: {status}")
+        return 1
+    status, result = call(
+        base,
+        "POST",
+        "/v1/sessions/replica-demo/command",
+        {
+            "script": [
+                "Configure Old.Term New0.Term.",
+                "Repair Old.Term New0.Term in eval_eq_true_or_false.",
+            ]
+        },
+    )
+    if status != 200:
+        print(f"session command failed: {status} {result}")
+        return 1
+    for entry in result["results"]:
+        print(f"session: {entry['summary']}")
+    call(base, "DELETE", "/v1/sessions/replica-demo")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ per-phase summary.  Off by default; enable with ``REPRO_TRACE=1`` or
 """
 
 from .export import chrome_trace, span_forest, write_chrome_trace
+from .hist import DEFAULT_BUCKETS, Histogram
 from .metrics import binder_depth, term_depth, term_size
 from .tracer import (
     TRACE_ENABLED_BY_ENV,
@@ -24,6 +25,8 @@ from .tracer import (
 )
 
 __all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
     "TRACE_ENABLED_BY_ENV",
     "TRACE_ENV_VAR",
     "Span",

@@ -1,0 +1,49 @@
+"""Repair-as-a-service: the HTTP/JSON front end over the repair engine.
+
+The server multiplexes two kinds of work over one process:
+
+* **named persistent sessions** — long-lived vernacular
+  :class:`~repro.commands.CommandSession` instances addressed by name
+  (``POST /v1/sessions``, ``POST /v1/sessions/{name}/command``), for
+  interactive clients that want environment boot paid once;
+* **stateless batch repair** — ``POST /v1/repair`` accepts the same
+  manifest schema as ``python -m repro.service`` and schedules it onto
+  a shared long-lived warm-worker pool with the content-addressed
+  result store as a cache tier; ``"async": true`` turns the call into
+  ``202`` + ``GET /v1/jobs/{id}`` polling behind a bounded queue.
+
+Everything is stdlib (``http.server`` threading); see
+:mod:`repro.server.app` for the transport-independent application and
+``python -m repro.server --help`` for the knobs.
+"""
+
+from .app import (
+    AppError,
+    RepairApp,
+    Request,
+    Response,
+    ServerConfig,
+)
+from .http import ReproHTTPServer, serve
+from .queue import JobQueue, QueueRejected
+from .ratelimit import RateLimiter
+from .routes import Route, RouteError, Router
+from .sessions import SessionManager, SessionRejected
+
+__all__ = [
+    "AppError",
+    "JobQueue",
+    "QueueRejected",
+    "RateLimiter",
+    "RepairApp",
+    "ReproHTTPServer",
+    "Request",
+    "Response",
+    "Route",
+    "RouteError",
+    "Router",
+    "ServerConfig",
+    "serve",
+    "SessionManager",
+    "SessionRejected",
+]

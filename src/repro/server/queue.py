@@ -1,0 +1,269 @@
+"""The bounded async-repair queue behind ``202 Accepted``.
+
+A client that does not want to hold a connection open for a whole
+batch submits with ``"async": true``; the app enqueues the work here,
+answers ``202`` with a job id, and the client polls
+``/v1/jobs/{id}``.  The queue is the server's load-shedding point:
+
+* **bounded depth** — at most ``max_pending`` batches queued; a submit
+  past the bound is refused (the app answers ``503`` with
+  ``Retry-After``) instead of growing an unbounded backlog the server
+  would still be chewing through long after every client gave up;
+* **dedicated dispatchers** — ``workers`` daemon threads drain the
+  queue through the app's shared batch executor (scheduler + warm
+  pool + result store), so async work and sync requests share one
+  worker pool rather than fighting over the machine;
+* **bounded history** — finished records are kept for polling, capped
+  at ``max_records`` (oldest finished evicted first), because a
+  long-lived server cannot keep every job it ever ran;
+* **drain** — :meth:`drain` stops intake, lets running jobs finish,
+  and marks still-queued jobs ``cancelled`` (a drain that insisted on
+  finishing a full backlog would turn SIGTERM into minutes).
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+#: Default bound on queued (not yet running) batches.
+DEFAULT_MAX_PENDING = 64
+
+#: Default number of dispatcher threads.
+DEFAULT_WORKERS = 2
+
+#: Default cap on retained finished job records.
+DEFAULT_MAX_RECORDS = 512
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+STATE_CANCELLED = "cancelled"
+
+_FINISHED = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
+
+
+class QueueRejected(Exception):
+    """A submit refused by the queue; carries status + retry hint."""
+
+    def __init__(
+        self, status: int, code: str, detail: str, retry_after: float
+    ) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.code = code
+        self.detail = detail
+        self.retry_after = retry_after
+
+
+class JobRecord:
+    """One async batch: identity, state machine, and its outcome."""
+
+    def __init__(self, job_id: str, batch: str, work: Any) -> None:
+        self.id = job_id
+        self.batch = batch
+        self.work = work
+        self.state = STATE_QUEUED
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.report: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+
+    def to_dict(self, with_report: bool = True) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "batch": self.batch,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+        }
+        if self.started_at is not None:
+            out["started_at"] = self.started_at
+        if self.finished_at is not None:
+            out["finished_at"] = self.finished_at
+        if self.error is not None:
+            out["error"] = self.error
+        if with_report and self.report is not None:
+            out["report"] = self.report
+        return out
+
+
+class JobQueue:
+    """Bounded FIFO of async batches plus their dispatcher threads."""
+
+    def __init__(
+        self,
+        execute: Callable[[Any], Dict[str, Any]],
+        max_pending: int = DEFAULT_MAX_PENDING,
+        workers: int = DEFAULT_WORKERS,
+        max_records: int = DEFAULT_MAX_RECORDS,
+    ) -> None:
+        self._execute = execute
+        self.max_pending = max(1, int(max_pending))
+        self.worker_count = max(1, int(workers))
+        self.max_records = max(self.max_pending, int(max_records))
+        self._pending: Deque[JobRecord] = deque()
+        self._records: Dict[str, JobRecord] = {}
+        self._order: Deque[str] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._running = 0
+        self._draining = False
+        self._threads: List[threading.Thread] = []
+        #: Lifetime counters for the metrics endpoint.
+        self.submitted_total = 0
+        self.completed_total = 0
+        self.rejected_total = 0
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the dispatcher threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.worker_count):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-queue-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def drain(self, timeout_s: float = 30.0) -> Dict[str, int]:
+        """Stop intake, cancel queued work, wait for running jobs.
+
+        Returns ``{"cancelled": n, "unfinished": m}``; ``unfinished``
+        counts jobs still running when the wait timed out.
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        with self._wake:
+            self._draining = True
+            cancelled = 0
+            while self._pending:
+                record = self._pending.popleft()
+                record.state = STATE_CANCELLED
+                record.error = "server draining"
+                record.finished_at = time.time()
+                cancelled += 1
+            self._wake.notify_all()
+            while self._running:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(remaining)
+            return {"cancelled": cancelled, "unfinished": self._running}
+
+    # -- Submission and polling --------------------------------------------
+
+    def submit(self, batch: str, work: Any) -> JobRecord:
+        """Enqueue one batch; raises :class:`QueueRejected` when full."""
+        with self._wake:
+            if self._draining:
+                self.rejected_total += 1
+                raise QueueRejected(
+                    503, "draining", "server is draining", 30.0
+                )
+            if len(self._pending) >= self.max_pending:
+                self.rejected_total += 1
+                raise QueueRejected(
+                    503,
+                    "queue-full",
+                    f"job queue is full ({self.max_pending} pending)",
+                    # A full queue empties one dispatch at a time; a
+                    # short constant hint beats a fake estimate.
+                    1.0,
+                )
+            job_id = secrets.token_hex(8)
+            record = JobRecord(job_id, batch, work)
+            self._pending.append(record)
+            self._records[job_id] = record
+            self._order.append(job_id)
+            self.submitted_total += 1
+            self._evict_records()
+            self._wake.notify()
+            return record
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def list(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            records = [self._records[i] for i in self._order]
+        return [r.to_dict(with_report=False) for r in records]
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def running(self) -> int:
+        with self._lock:
+            return self._running
+
+    # -- Dispatchers -------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._pending and not self._draining:
+                    self._wake.wait()
+                if not self._pending:
+                    return  # draining and nothing left to run
+                record = self._pending.popleft()
+                record.state = STATE_RUNNING
+                record.started_at = time.time()
+                self._running += 1
+            try:
+                report = self._execute(record.work)
+            except Exception as exc:  # noqa: BLE001 — a failed batch
+                # must surface in its record, never kill the dispatcher
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.state = STATE_FAILED
+            else:
+                record.report = report
+                record.state = STATE_DONE
+            finally:
+                record.finished_at = time.time()
+                record.work = None  # the manifest is no longer needed
+                with self._lock:
+                    self._running -= 1
+                    self.completed_total += 1
+                    self._idle.notify_all()
+
+    def _evict_records(self) -> None:
+        """Cap retained records, oldest *finished* first (lock held)."""
+        while len(self._records) > self.max_records:
+            for job_id in list(self._order):
+                record = self._records.get(job_id)
+                if record is None:
+                    self._order.remove(job_id)
+                    break
+                if record.state in _FINISHED:
+                    self._order.remove(job_id)
+                    del self._records[job_id]
+                    break
+            else:
+                return  # everything live is queued or running: keep all
+
+
+__all__ = [
+    "DEFAULT_MAX_PENDING",
+    "DEFAULT_MAX_RECORDS",
+    "DEFAULT_WORKERS",
+    "JobQueue",
+    "JobRecord",
+    "QueueRejected",
+    "STATE_CANCELLED",
+    "STATE_DONE",
+    "STATE_FAILED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+]

@@ -1,0 +1,92 @@
+"""The route table: method + path pattern -> handler name.
+
+Patterns are segment-wise: a literal segment must match exactly, a
+``{param}`` segment captures one non-empty path component (no slashes).
+Matching distinguishes *unknown path* (404) from *known path, wrong
+method* (405 with an ``Allow`` header) — a front end that answers 404
+to a ``GET`` on a POST-only route sends clients hunting for typos that
+are not there.
+
+The table itself lives in :mod:`repro.server.app` next to the handlers
+it names; this module is only the matching machinery, so it is testable
+without an application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Route:
+    """One route: an HTTP method, a segment pattern, a handler name."""
+
+    method: str
+    pattern: str
+    handler: str
+
+    def segments(self) -> Tuple[str, ...]:
+        return tuple(s for s in self.pattern.split("/") if s)
+
+
+@dataclass(frozen=True)
+class Match:
+    """A resolved route plus its captured path parameters."""
+
+    handler: str
+    params: Dict[str, str]
+
+
+class RouteError(Exception):
+    """No route matched; carries the HTTP status to answer with."""
+
+    def __init__(self, status: int, detail: str, allow: Sequence[str] = ()):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+        #: Methods that *would* match the path (the 405 ``Allow`` header).
+        self.allow = tuple(allow)
+
+
+def _match_segments(
+    pattern: Tuple[str, ...], path: Tuple[str, ...]
+) -> Optional[Dict[str, str]]:
+    if len(pattern) != len(path):
+        return None
+    params: Dict[str, str] = {}
+    for want, got in zip(pattern, path):
+        if want.startswith("{") and want.endswith("}"):
+            params[want[1:-1]] = got
+        elif want != got:
+            return None
+    return params
+
+
+class Router:
+    """Match ``(method, path)`` against an ordered route table."""
+
+    def __init__(self, routes: Sequence[Route]) -> None:
+        self.routes = list(routes)
+
+    def resolve(self, method: str, path: str) -> Match:
+        """The matching route, or :class:`RouteError` (404/405)."""
+        segments = tuple(s for s in path.split("/") if s)
+        allowed: List[str] = []
+        for route in self.routes:
+            params = _match_segments(route.segments(), segments)
+            if params is None:
+                continue
+            if route.method == method:
+                return Match(handler=route.handler, params=params)
+            allowed.append(route.method)
+        if allowed:
+            raise RouteError(
+                405,
+                f"method {method} not allowed for {path!r}",
+                allow=sorted(set(allowed)),
+            )
+        raise RouteError(404, f"no route for {path!r}")
+
+
+__all__ = ["Match", "Route", "RouteError", "Router"]

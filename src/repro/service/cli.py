@@ -13,8 +13,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
-from typing import List, Optional
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional
 
 from .faults import FaultPlan
 from .job import JobError
@@ -55,6 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-store",
         action="store_true",
         help="disable the persistent result store entirely",
+    )
+    parser.add_argument(
+        "--store-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bound the store to N records, evicting least-recently-"
+            "used (default: $REPRO_SERVICE_STORE_MAX, else unbounded)"
+        ),
     )
     parser.add_argument(
         "--refresh",
@@ -143,6 +157,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@contextmanager
+def _terminate_guard() -> Iterator[None]:
+    """SIGTERM/SIGINT → hard-kill every worker group, then exit.
+
+    The polite alternative — raising and unwinding — deadlocks: the
+    scheduler's executor threads sit blocked reading frames from (
+    possibly hung) workers, and ``ThreadPoolExecutor.__exit__`` waits
+    on those threads forever, leaking the worker process groups the
+    interrupt was supposed to stop.  Killing the groups first unblocks
+    everything; ``os._exit`` then skips the unwinding entirely with
+    the conventional ``128 + signum`` status.
+
+    Handlers are restored on the way out so in-process callers (tests,
+    other tools embedding :func:`main`) keep their own behaviour.
+    """
+    from .pool import emergency_shutdown
+
+    def _terminate(signum: int, frame: Any) -> None:
+        emergency_shutdown()
+        os._exit(128 + signum)
+
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = {
+        signum: signal.signal(signum, _terminate)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -161,7 +210,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (JobError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    store = None if args.no_store else ResultStore(args.store)
+    store = (
+        None
+        if args.no_store
+        else ResultStore(args.store, max_entries=args.store_max_entries)
+    )
     if args.snapshot:
         from ..kernel.snapshot import SnapshotError
         from .warmup import ensure_batch_snapshot
@@ -210,7 +263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         pool=args.pool,
     )
     try:
-        report = run_batch(jobs, options, batch=batch)
+        with _terminate_guard():
+            report = run_batch(jobs, options, batch=batch)
     except JobError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

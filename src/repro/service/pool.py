@@ -44,8 +44,9 @@ import subprocess
 import sys
 import threading
 import time
+import weakref
 from collections import deque
-from typing import IO, Any, Callable, Deque, Dict, List, Optional
+from typing import IO, Any, Callable, Deque, Dict, List, Optional, Set
 
 from .faults import CRASH_EXIT_CODE, FaultPlan, JobTimeout, WorkerCrash
 from .proto import FrameStream, FrameTimeout, ProtocolError, StreamClosed
@@ -69,6 +70,38 @@ STALE_BOUNCES = 2
 _DRAIN_GRACE_S = 5.0
 
 _FALSY = ("0", "false", "no", "off")
+
+#: Every live pool, for emergency teardown on SIGTERM/SIGINT.  Weak so
+#: an abandoned pool can still be collected; a registered pool whose
+#: owner forgot to drain it is exactly what the emergency path is for.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+#: One-shot worker subprocesses (the ``--no-pool`` runner), same deal.
+_LIVE_SOLO: "weakref.WeakSet[subprocess.Popen[Any]]" = weakref.WeakSet()
+
+
+def register_solo_worker(process: "subprocess.Popen[Any]") -> None:
+    """Track a one-shot worker so emergency teardown can reach it."""
+    _LIVE_SOLO.add(process)
+
+
+def emergency_shutdown() -> int:
+    """SIGKILL every live worker process group; returns how many died.
+
+    This is the signal-handler path: no graceful shutdown frames, no
+    waiting on executor threads — a batch CLI or server hit by SIGTERM
+    must not leave worker process groups running (the executor threads
+    blocked on those workers' pipes would otherwise keep the normal
+    drain from ever finishing).  Safe to call repeatedly.
+    """
+    killed = 0
+    for pool in list(_LIVE_POOLS):
+        killed += pool.kill()
+    for process in list(_LIVE_SOLO):
+        if process.poll() is None:
+            kill_process_group(process)
+            killed += 1
+    return killed
 
 
 def default_pool() -> bool:
@@ -258,8 +291,13 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._idle: Deque[PoolWorker] = deque()
+        #: Every live worker, busy or idle — the emergency kill path
+        #: must reach workers currently serving a job, which the idle
+        #: queue alone cannot.
+        self._members: Set[PoolWorker] = set()
         self._live = 0
         self._closed = False
+        _LIVE_POOLS.add(self)
         self._counts: Dict[str, int] = {
             "spawned": 0,
             "recycled": 0,
@@ -287,13 +325,16 @@ class WorkerPool:
                     break
                 self._cond.wait()
         try:
-            return PoolWorker(self._environ, self._snapshot)
+            worker = PoolWorker(self._environ, self._snapshot)
         except BaseException:
             with self._cond:
                 self._live -= 1
                 self._counts["spawned"] -= 1
                 self._cond.notify()
             raise
+        with self._cond:
+            self._members.add(worker)
+        return worker
 
     def _checkin(self, worker: PoolWorker) -> None:
         """Return a healthy worker to the idle queue (or recycle it)."""
@@ -325,7 +366,8 @@ class WorkerPool:
 
     def _release(self, worker: PoolWorker) -> None:
         with self._cond:
-            self._live -= 1
+            self._members.discard(worker)
+            self._live = max(0, self._live - 1)
             self._cond.notify()
 
     def shutdown(self) -> None:
@@ -345,6 +387,26 @@ class WorkerPool:
         for worker in idle:
             worker.retire()
             self._release(worker)
+
+    def kill(self) -> int:
+        """Hard-kill every worker, busy or idle; returns how many.
+
+        The emergency (signal-time) counterpart of :meth:`shutdown`:
+        no shutdown frames, no grace for in-flight jobs.  Executor
+        threads blocked on a killed worker's pipe observe EOF and
+        surface :class:`~repro.service.faults.WorkerCrash` as usual —
+        but the caller is typically about to ``os._exit`` anyway.
+        """
+        with self._cond:
+            self._closed = True
+            self._idle.clear()
+            members = list(self._members)
+            self._members.clear()
+            self._live = 0
+            self._cond.notify_all()
+        for worker in members:
+            kill_process_group(worker.process)
+        return len(members)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -38,7 +38,7 @@ import time
 import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from typing import (
@@ -71,6 +71,7 @@ from .pool import (
     WorkerPool,
     default_pool,
     kill_process_group,
+    register_solo_worker,
     worker_environ,
 )
 from .proto import last_frame
@@ -367,6 +368,7 @@ def subprocess_runner(
             env=environ,
             start_new_session=True,
         )
+        register_solo_worker(process)
         try:
             stdout, stderr = process.communicate(
                 request, timeout=timeout_s
@@ -627,7 +629,15 @@ def run_batch(
         if options.backoff_s > 0 and attempt > 0:
             time.sleep(options.backoff_s * attempt)
 
-    with _pool_guard(worker_pool), span(
+    # Pin every key this batch may read or write: a bounded store being
+    # pruned by a concurrent batch must never evict a record between
+    # this batch's cache probe and its use of the result.
+    pin_guard = (
+        store.pin([job.key for job in state.jobs.values()])
+        if store is not None
+        else nullcontext()
+    )
+    with _pool_guard(worker_pool), pin_guard, span(
         "service_batch", category="service", batch=batch, jobs=options.jobs
     ) as batch_span:
         if options.jobs <= 1:

@@ -8,6 +8,15 @@ directory) so a crashed or killed engine can never leave a partial
 record; loads are corruption-tolerant — unreadable, non-JSON, or
 wrong-shape records count as misses and are overwritten by the next
 successful run, never propagated.
+
+The store can be bounded: ``max_entries`` (or
+``$REPRO_SERVICE_STORE_MAX``) caps the record count, and every ``put``
+past the cap evicts least-recently-*used* records — a ``get`` hit
+freshens its record's mtime, so hot results survive while stale ones
+age out.  Keys pinned through :meth:`ResultStore.pin` are never
+evicted; the scheduler pins a batch's keys for the batch's duration so
+a concurrent writer can never prune a record an in-flight batch is
+about to read.
 """
 
 from __future__ import annotations
@@ -15,12 +24,27 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Any, Dict, Optional
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .job import SCHEMA_VERSION
 
 #: Environment variable overriding the default store directory.
 STORE_ENV_VAR = "REPRO_SERVICE_STORE"
+
+#: Environment variable bounding the store's record count (LRU evicted).
+STORE_MAX_ENV_VAR = "REPRO_SERVICE_STORE_MAX"
+
+
+def default_max_entries() -> Optional[int]:
+    """``$REPRO_SERVICE_STORE_MAX`` when a positive int, else unbounded."""
+    raw = os.environ.get(STORE_MAX_ENV_VAR, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 1 else None
 
 
 def default_store_dir() -> str:
@@ -37,10 +61,23 @@ def default_store_dir() -> str:
 class ResultStore:
     """Content-addressed persistence for job results, with hit counters."""
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
         self.root = root if root is not None else default_store_dir()
+        if max_entries is None:
+            max_entries = default_max_entries()
+        #: Record-count bound; values below 1 mean unbounded.
+        self.max_entries = (
+            max_entries if max_entries and max_entries >= 1 else None
+        )
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._pin_lock = threading.Lock()
+        self._pins: Dict[str, int] = {}
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -75,6 +112,12 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
+        if self.max_entries is not None:
+            # Freshen the record so LRU eviction sees it as recent.
+            try:
+                os.utime(self.path_for(key))
+            except OSError:
+                pass
         return record
 
     def put(self, key: str, record: Dict[str, Any]) -> str:
@@ -93,7 +136,75 @@ class ResultStore:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
+        self._prune()
         return path
+
+    # -- Bounded retention -------------------------------------------------
+
+    @contextmanager
+    def pin(self, keys: Iterable[str]) -> Iterator[None]:
+        """Hold ``keys`` exempt from eviction for the ``with`` body.
+
+        Pins are reference-counted, so overlapping batches sharing a
+        key stay protected until the *last* one finishes.
+        """
+        held = list(keys)
+        with self._pin_lock:
+            for key in held:
+                self._pins[key] = self._pins.get(key, 0) + 1
+        try:
+            yield
+        finally:
+            with self._pin_lock:
+                for key in held:
+                    count = self._pins.get(key, 0) - 1
+                    if count <= 0:
+                        self._pins.pop(key, None)
+                    else:
+                        self._pins[key] = count
+
+    def pinned(self) -> List[str]:
+        with self._pin_lock:
+            return sorted(self._pins)
+
+    def _prune(self) -> None:
+        """Evict least-recently-used records past ``max_entries``.
+
+        Pinned keys are skipped no matter how old; disappearing files
+        (a concurrent pruner) are ignored, not errors.
+        """
+        if self.max_entries is None:
+            return
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return
+        aged: List[Tuple[float, str]] = []
+        for entry in entries:
+            if not entry.endswith(".json") or entry.startswith("."):
+                continue
+            try:
+                mtime = os.path.getmtime(os.path.join(self.root, entry))
+            except OSError:
+                continue
+            aged.append((mtime, entry))
+        excess = len(aged) - self.max_entries
+        if excess <= 0:
+            return
+        with self._pin_lock:
+            pinned = set(self._pins)
+        aged.sort()
+        for _mtime, entry in aged:
+            if excess <= 0:
+                break
+            if entry[: -len(".json")] in pinned:
+                continue
+            try:
+                os.unlink(os.path.join(self.root, entry))
+            except OSError:
+                continue
+            self.evictions += 1
+            excess -= 1
 
     # -- Maintenance -------------------------------------------------------
 

@@ -1,0 +1,158 @@
+"""FrameStream under slow writers: dribbled bytes and mid-frame deadlines.
+
+The pool reads worker frames with :class:`FrameStream`, which must
+survive a peer that writes a frame one byte at a time across many
+``select`` wakeups, and must keep its parser state intact when a
+deadline expires with a frame half-delivered — the next read (with a
+fresh deadline) picks up exactly where the stream left off.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.service.proto import (
+    FrameStream,
+    FrameTimeout,
+    StreamClosed,
+    encode_frame,
+)
+
+
+def _dribble(fd, data, delay=0.0, start=None, done=None):
+    """Write ``data`` to ``fd`` one byte at a time from a thread."""
+
+    def run():
+        if start is not None:
+            start.wait()
+        for i in range(len(data)):
+            os.write(fd, data[i : i + 1])
+            if delay:
+                time.sleep(delay)
+        if done is not None:
+            done.set()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+@pytest.fixture
+def pipe():
+    read_fd, write_fd = os.pipe()
+    yield read_fd, write_fd
+    for fd in (read_fd, write_fd):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+
+
+class TestSlowWriter:
+    def test_byte_at_a_time_frame(self, pipe):
+        """A frame dribbled byte-by-byte parses across select wakeups."""
+        read_fd, write_fd = pipe
+        message = {"event": "result", "status": "ok", "n": 42}
+        thread = _dribble(write_fd, encode_frame(message), delay=0.001)
+        stream = FrameStream(read_fd)
+        frame = stream.read_frame(deadline=time.monotonic() + 30)
+        assert frame == message
+        thread.join(timeout=10)
+
+    def test_two_frames_dribbled_with_noise_between(self, pipe):
+        """Noise lines between dribbled frames are skipped, not parsed."""
+        read_fd, write_fd = pipe
+        first = {"event": "ready"}
+        second = {"event": "result", "status": "ok"}
+        data = (
+            encode_frame(first)
+            + b"worker log line, not a frame\n"
+            + encode_frame(second)
+        )
+        thread = _dribble(write_fd, data, delay=0.0005)
+        stream = FrameStream(read_fd)
+        deadline = time.monotonic() + 30
+        assert stream.read_frame(deadline=deadline) == first
+        assert stream.read_frame(deadline=deadline) == second
+        thread.join(timeout=10)
+
+    def test_deadline_mid_frame_preserves_parser_state(self, pipe):
+        """A timeout with half a frame buffered does not corrupt parsing.
+
+        The writer sends the header and part of the body, then stalls
+        past the deadline.  ``read_frame`` raises :class:`FrameTimeout`;
+        once the writer resumes, a second call with a new deadline
+        returns the frame intact.
+        """
+        read_fd, write_fd = pipe
+        message = {"event": "result", "status": "ok", "payload": "x" * 64}
+        data = encode_frame(message)
+        split = len(data) // 2
+        resume = threading.Event()
+
+        def writer():
+            os.write(write_fd, data[:split])
+            resume.wait(timeout=30)
+            os.write(write_fd, data[split:])
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+
+        stream = FrameStream(read_fd)
+        # First half arrives, then nothing: the deadline must fire.
+        with pytest.raises(FrameTimeout):
+            stream.read_frame(deadline=time.monotonic() + 0.2)
+        # Resume the writer; the same stream finishes the frame.
+        resume.set()
+        frame = stream.read_frame(deadline=time.monotonic() + 30)
+        assert frame == message
+        thread.join(timeout=10)
+
+    def test_repeated_timeouts_then_completion(self, pipe):
+        """Several expired deadlines in a row still leave the stream sound."""
+        read_fd, write_fd = pipe
+        message = {"event": "ready", "pid": 7}
+        data = encode_frame(message)
+        stream = FrameStream(read_fd)
+
+        # Feed one byte between timeouts; every retry resumes cleanly.
+        for i in range(3):
+            os.write(write_fd, data[i : i + 1])
+            with pytest.raises(FrameTimeout):
+                stream.read_frame(deadline=time.monotonic() + 0.05)
+        os.write(write_fd, data[3:])
+        frame = stream.read_frame(deadline=time.monotonic() + 30)
+        assert frame == message
+
+    def test_deadline_already_past(self, pipe):
+        """An already-expired deadline raises without blocking."""
+        read_fd, _ = pipe
+        stream = FrameStream(read_fd)
+        started = time.monotonic()
+        with pytest.raises(FrameTimeout):
+            stream.read_frame(deadline=started - 1.0)
+        assert time.monotonic() - started < 1.0
+
+    def test_eof_mid_frame_is_stream_closed(self, pipe):
+        """A writer dying mid-frame surfaces as StreamClosed, not a hang."""
+        read_fd, write_fd = pipe
+        data = encode_frame({"event": "result", "status": "ok"})
+        os.write(write_fd, data[: len(data) // 2])
+        os.close(write_fd)
+        stream = FrameStream(read_fd)
+        with pytest.raises(StreamClosed):
+            stream.read_frame(deadline=time.monotonic() + 5)
+
+    def test_timeout_then_eof(self, pipe):
+        """Timeout first, then peer death: both surface in order."""
+        read_fd, write_fd = pipe
+        data = encode_frame({"event": "ready"})
+        os.write(write_fd, data[:4])
+        stream = FrameStream(read_fd)
+        with pytest.raises(FrameTimeout):
+            stream.read_frame(deadline=time.monotonic() + 0.05)
+        os.close(write_fd)
+        with pytest.raises(StreamClosed):
+            stream.read_frame(deadline=time.monotonic() + 5)
